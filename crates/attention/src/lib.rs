@@ -1,0 +1,32 @@
+//! Attention sparsity policies: the paper's Sparse Window Attention and
+//! every baseline it is compared against.
+//!
+//! A *policy* answers one question each decoding step: **which prior
+//! tokens' KV entries are worth keeping?** (paper §IV). This crate keeps
+//! that decision pure — a function of the attention-weight history — so
+//! the same policies plug into both the functional transformer
+//! (`alisa-model`) and the performance simulator (`alisa-sched`):
+//!
+//! * [`policy::DensePolicy`] — keep everything (exact attention),
+//! * [`policy::LocalPolicy`] — sliding window over recent tokens
+//!   (Longformer [3]),
+//! * [`policy::StridedPolicy`] — fixed-stride mask (SparseTransformer [8]),
+//! * [`policy::SwaPolicy`] — **ALISA's Sparse Window Attention**
+//!   (Algorithm 1): half the budget on the most recent tokens, half on
+//!   the tokens with the largest *local* attention sum,
+//! * [`policy::H2oPolicy`] — heavy hitters by *global* attention sum
+//!   (H2O [43]), the closest prior work.
+//!
+//! [`kernels`] computes masked single-head attention and [`metrics`]
+//! scores a policy's fidelity against dense attention (Spearman ρ of the
+//! score distributions, attainable attention-weight sparsity) — the
+//! quantities plotted in Figures 4 and 10.
+
+pub mod kernels;
+pub mod metrics;
+pub mod policy;
+
+pub use policy::{
+    AttentionHistory, DensePolicy, H2oPolicy, LocalPolicy, PolicyKind, SelectionContext,
+    SparsityPolicy, StridedPolicy, SwaPolicy, TokenSelection,
+};

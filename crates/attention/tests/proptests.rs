@@ -1,0 +1,93 @@
+//! Property-based tests of the policy contract every implementation
+//! must uphold (see `SparsityPolicy`'s docs).
+
+use alisa_attention::policy::{
+    AttentionHistory, PolicyKind, SelectionContext, SparsityPolicy, SwaPolicy,
+};
+use proptest::prelude::*;
+
+fn arbitrary_history() -> impl Strategy<Value = AttentionHistory> {
+    (1usize..6, 1usize..40).prop_map(|(depth, seq)| {
+        let mut h = AttentionHistory::new(depth);
+        for step in 0..depth {
+            let len = (seq - depth.min(seq) + step + 1).min(seq);
+            let row: Vec<f32> = (0..len)
+                .map(|j| ((j * 31 + step * 7) % 101) as f32 / 101.0)
+                .collect();
+            h.push(&row);
+        }
+        h
+    })
+}
+
+proptest! {
+    /// Every policy returns ascending, deduplicated, in-range indices
+    /// within budget, and always keeps the current (last) token when it
+    /// keeps anything at all.
+    #[test]
+    fn policy_contract(
+        h in arbitrary_history(),
+        seq_len in 1usize..64,
+        budget in 0usize..64,
+    ) {
+        for kind in PolicyKind::ALL {
+            let policy = kind.instantiate(seq_len, budget);
+            let ctx = SelectionContext { seq_len, budget, history: &h };
+            let sel = policy.select(&ctx);
+            // Ascending and unique.
+            for w in sel.kept.windows(2) {
+                prop_assert!(w[0] < w[1], "{kind}: indices must ascend");
+            }
+            // In range.
+            for &i in &sel.kept {
+                prop_assert!(i < seq_len, "{kind}: index {i} out of range");
+            }
+            // Within budget (dense exempt).
+            if policy.is_sparse() {
+                prop_assert!(sel.kept.len() <= budget.max(0), "{kind}: budget exceeded");
+            }
+            // local ∪ global == kept, disjoint.
+            let mut union: Vec<usize> =
+                sel.local.iter().chain(sel.global.iter()).copied().collect();
+            union.sort_unstable();
+            prop_assert_eq!(&union, &sel.kept, "{} parts must partition kept", kind);
+            // Non-empty selections include the newest token for local-
+            // window-carrying policies.
+            if !sel.kept.is_empty() && matches!(kind, PolicyKind::Local | PolicyKind::Swa | PolicyKind::H2o) {
+                prop_assert!(sel.kept.contains(&(seq_len - 1)), "{kind}: newest token dropped");
+            }
+        }
+    }
+
+    /// Selection is a pure function of the context (determinism).
+    #[test]
+    fn selection_is_deterministic(
+        h in arbitrary_history(),
+        seq_len in 1usize..48,
+        budget in 1usize..48,
+    ) {
+        for kind in PolicyKind::ALL {
+            let ctx = SelectionContext { seq_len, budget, history: &h };
+            let a = kind.instantiate(seq_len, budget).select(&ctx);
+            let b = kind.instantiate(seq_len, budget).select(&ctx);
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    /// SWA's local fraction monotonically trades global slots for local
+    /// ones.
+    #[test]
+    fn swa_split_is_monotone(
+        h in arbitrary_history(),
+        seq_len in 4usize..48,
+        budget in 2usize..24,
+    ) {
+        let mut last_local = 0usize;
+        for frac in [0.0f32, 0.25, 0.5, 0.75, 1.0] {
+            let ctx = SelectionContext { seq_len, budget, history: &h };
+            let sel = SwaPolicy::with_local_fraction(frac).select(&ctx);
+            prop_assert!(sel.local.len() >= last_local, "local share must grow with frac");
+            last_local = sel.local.len();
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Figure 1: execution-time and memory breakdown for OPT-6.7B on a
+//! V100-32GB under two workloads and three KV placements.
+//!
+//! Reproduces: GPU-only OOMs on workload 2; placing 50% of KV in CPU
+//! memory roughly triples execution time and 100% roughly quintuples it
+//! (paper §III-A), with "memory access" (KV movement/host-side access)
+//! dominating the slowdown.
+
+use alisa_bench::{banner, f, gib, row};
+use alisa_memsim::HardwareSpec;
+use alisa_model::ModelConfig;
+use alisa_sched::{FlexGenScheduler, GpuOnlyScheduler, InferenceSystem, Workload};
+
+fn main() {
+    let quick = alisa_bench::quick_mode();
+    banner(
+        "Figure 1",
+        "OPT-6.7B on V100-32GB: time & memory vs. KV placement",
+    );
+    let model = ModelConfig::opt_6_7b();
+    let hw = HardwareSpec::v100_32gb();
+    let workloads = if quick {
+        vec![("workload 1 (b=16,s=512,n=128)", Workload::new(16, 512, 16))]
+    } else {
+        vec![
+            ("workload 1 (b=16,s=512,n=128)", Workload::fig1_workload1()),
+            ("workload 2 (b=64,s=512,n=512)", Workload::fig1_workload2()),
+        ]
+    };
+
+    println!(
+        "\nweights = {} GiB FP16; GPU capacity = {} GiB (red-dot line)",
+        gib(model.weight_bytes(2)),
+        gib(hw.gpu.memory_bytes)
+    );
+
+    for (label, wl) in workloads {
+        println!("\n--- {label} ---");
+        row(
+            "placement",
+            ["MHA+FFN (s)", "mem access (s)", "total (s)", "GPU KV GiB", "CPU KV GiB"],
+        );
+        let cases: Vec<(&str, Box<dyn InferenceSystem>)> = vec![
+            ("GPU only", Box::new(GpuOnlyScheduler::with_kv_cache())),
+            ("50% CPU", Box::new(FlexGenScheduler::with_cpu_fraction(0.5))),
+            ("100% CPU", Box::new(FlexGenScheduler::with_cpu_fraction(1.0))),
+        ];
+        let mut gpu_only_total = None;
+        for (name, system) in cases {
+            let r = system.run(&model, &hw, &wl);
+            if !r.outcome.is_completed() {
+                row(name, ["OOM", "OOM", "OOM", "-", "-"]);
+                continue;
+            }
+            let compute = r.timeline.total_compute_time();
+            let mem = r.timeline.total_transfer_time();
+            let total = r.total_time();
+            if name == "GPU only" {
+                gpu_only_total = Some(total);
+            }
+            let slowdown = gpu_only_total
+                .map(|g| format!("  ({:.1}x vs GPU-only)", total / g))
+                .unwrap_or_default();
+            row(
+                name,
+                [
+                    f(compute),
+                    f(mem),
+                    format!("{}{}", f(total), slowdown),
+                    gib(r.timeline.peak_gpu_mem()),
+                    gib(r.timeline.peak_cpu_mem()),
+                ],
+            );
+        }
+    }
+    println!("\npaper: 50% CPU ≈ 3x, 100% CPU ≈ 5x, GPU-only OOM on workload 2");
+}

@@ -1,0 +1,72 @@
+//! Figure 3: attention-weight sparsity across decoding steps and layers
+//! during OPT-model inference on WikiText-2-like text.
+//!
+//! Reproduces: sparsity between ~80% and ~99% (threshold: 1% of the
+//! row-wise max), and larger models exhibiting *higher* sparsity
+//! (OPT-30B denser concentration than OPT-6.7B).
+
+use alisa_bench::{banner, f, row};
+use alisa_model::engine::{run_with_capture, GenerationConfig};
+use alisa_model::{InitSpec, ModelConfig, TinyTransformer};
+use alisa_tensor::stats::causal_attention_sparsity;
+use alisa_workloads::Dataset;
+
+fn main() {
+    let quick = alisa_bench::quick_mode();
+    banner(
+        "Figure 3",
+        "attention-weight sparsity by step and layer (1%-of-row-max threshold)",
+    );
+    let seq_len = if quick { 96 } else { 384 };
+    let emulated = [
+        ModelConfig::opt_6_7b(),
+        ModelConfig::opt_13b(),
+        ModelConfig::opt_30b(),
+    ];
+
+    for target in &emulated {
+        let init = InitSpec::default().with_concentration_for_params(target.params());
+        let model = TinyTransformer::structured(ModelConfig::tiny_4l(), init);
+        let corpus = Dataset::WikiText2.spec(
+            model.config().vocab_size,
+            init.anchor_count(model.config().vocab_size),
+        );
+        let tokens = corpus.sequence(0, seq_len);
+        let cap = run_with_capture(&model, &tokens, &GenerationConfig::default());
+
+        // Per-layer sparsity over the last quarter of the sequence.
+        let per_layer: Vec<f64> = (0..model.config().num_layers)
+            .map(|l| {
+                let map = cap.layer_map(l);
+                causal_attention_sparsity(&map, 0.01, 8) as f64
+            })
+            .collect();
+        // Per-step sparsity (averaged over layers) at a few checkpoints.
+        let step_marks: Vec<usize> = (seq_len / 4..seq_len).step_by((seq_len / 4).max(1)).collect();
+        let per_step: Vec<f64> = step_marks
+            .iter()
+            .map(|&s| {
+                let mut total = 0.0;
+                for l in 0..model.config().num_layers {
+                    let rw = &cap.rows[s][l];
+                    total += alisa_tensor::stats::row_sparsity(&rw[..=s.min(rw.len() - 1)], 0.01)
+                        as f64;
+                }
+                total / model.config().num_layers as f64
+            })
+            .collect();
+
+        println!("\n{} (emulated; concentration {:.2})", target.name, init.concentration);
+        row(
+            "layer sparsity",
+            per_layer.iter().map(|s| f(s * 100.0)),
+        );
+        row(
+            &format!("step sparsity @{step_marks:?}"),
+            per_step.iter().map(|s| f(s * 100.0)),
+        );
+        let mean = per_layer.iter().sum::<f64>() / per_layer.len() as f64;
+        println!("mean attention-weight sparsity: {:.1}%", mean * 100.0);
+    }
+    println!("\npaper: sparsity 80–99%; larger models sparser (OPT-30B density ~3x less than 6.7B)");
+}

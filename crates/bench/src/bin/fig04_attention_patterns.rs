@@ -1,0 +1,117 @@
+//! Figure 4: sparse attention patterns and attention-score
+//! distributions for dense / local / strided / SWA, with Spearman ρ
+//! against dense attention.
+//!
+//! Reproduces: SWA's score distribution tracks dense almost perfectly
+//! (ρ close to 1) while local and strided attention decorrelate.
+
+use alisa_attention::metrics::{vocab_attention_mass, vocab_fidelity};
+use alisa_attention::policy::PolicyKind;
+use alisa_bench::{banner, f, heat_cell, row};
+use alisa_model::engine::{run_with_capture, GenerationConfig};
+use alisa_model::{InitSpec, ModelConfig, TinyTransformer};
+use alisa_workloads::Dataset;
+
+fn main() {
+    let quick = alisa_bench::quick_mode();
+    banner(
+        "Figure 4",
+        "attention patterns + score distributions vs. dense (Spearman rho)",
+    );
+    let seq_len = if quick { 96 } else { 256 };
+    let sparsity = 0.8f32;
+    let init = InitSpec::default().with_concentration_for_params(6_700_000_000);
+    let model = TinyTransformer::structured(ModelConfig::tiny_4l(), init);
+    // Figure 4's regime: full-context (2048) prompts where the important
+    // tokens sit far outside any recency window. At our scaled length
+    // that means anchors that recur *rarely* relative to the window, as
+    // in real text ("France" does not reappear every ten tokens).
+    let corpus = alisa_workloads::CorpusSpec {
+        p_anchor: 0.10,
+        topic_anchors: 3,
+        anchor_front_frac: 0.2,
+        ..Dataset::WikiText2.spec(
+            model.config().vocab_size,
+            init.anchor_count(model.config().vocab_size),
+        )
+    };
+    let tokens = corpus.sequence(3, seq_len);
+
+    // Score over the second half of the map — the steps where the KV
+    // budget binds (the paper's 2048-token runs are bound essentially
+    // everywhere; our scaled prefix would dilute the comparison).
+    let lo = seq_len / 2;
+    let dense_cap = run_with_capture(&model, &tokens, &GenerationConfig::default());
+    let dense_map = dense_cap.layer_map(1).slice_rows(lo, seq_len);
+
+    // Per-occurrence average attention per vocab id under dense
+    // attention; the "head" ids are the top quartile of this — the part
+    // of the distribution the figure's log-scale curves emphasize.
+    let dense_scores = alisa_attention::metrics::vocab_attention_score(
+        &dense_map,
+        &tokens,
+        model.config().vocab_size,
+    );
+    let mut present: Vec<usize> = tokens.clone();
+    present.sort_unstable();
+    present.dedup();
+    let mut by_dense = present.clone();
+    by_dense.sort_by(|&a, &b| {
+        dense_scores[b]
+            .partial_cmp(&dense_scores[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let head_ids: Vec<usize> = by_dense[..(by_dense.len() / 4).max(8)].to_vec();
+
+    println!("\nKV sparsity for sparse methods: {:.0}%", sparsity * 100.0);
+    row("method", ["rho (all)", "rho (head)", "zipf slope", "zipf R^2"]);
+    for kind in [
+        PolicyKind::Dense,
+        PolicyKind::Local,
+        PolicyKind::Strided,
+        PolicyKind::Swa,
+        PolicyKind::H2o,
+    ] {
+        let cfg = GenerationConfig::default().with_policy(
+            kind,
+            if kind == PolicyKind::Dense { 0.0 } else { sparsity },
+        );
+        let cap = run_with_capture(&model, &tokens, &cfg);
+        let map = cap.layer_map(1).slice_rows(lo, seq_len);
+        let rep = vocab_fidelity(&dense_map, &map, &tokens, model.config().vocab_size);
+        let sparse_scores = alisa_attention::metrics::vocab_attention_score(
+            &map,
+            &tokens,
+            model.config().vocab_size,
+        );
+        let d_head: Vec<f32> = head_ids.iter().map(|&t| dense_scores[t]).collect();
+        let s_head: Vec<f32> = head_ids.iter().map(|&t| sparse_scores[t]).collect();
+        let rho_head = alisa_tensor::stats::spearman(&d_head, &s_head);
+        row(
+            kind.label(),
+            [
+                f(rep.spearman_rho as f64),
+                f(rho_head as f64),
+                f(rep.zipf_slope as f64),
+                f(rep.zipf_r2 as f64),
+            ],
+        );
+        if !quick && (kind == PolicyKind::Dense || kind == PolicyKind::Swa) {
+            println!("  pattern (last 24 steps x 48 positions, layer 1):");
+            let lo_r = map.rows().saturating_sub(24);
+            let cols = map.cols().min(48);
+            for r in lo_r..map.rows() {
+                let rowmax = map.row(r).iter().copied().fold(0.0f32, f32::max);
+                let line: String = (0..cols).map(|c| heat_cell(map.get(r, c), rowmax)).collect();
+                println!("    |{line}|");
+            }
+        }
+    }
+
+    // Sorted attention-score distribution (the log-scale curves).
+    println!("\nsorted per-vocab-token attention mass (top 12):");
+    let mut mass = vocab_attention_mass(&dense_map, &tokens, model.config().vocab_size);
+    mass.sort_by(|a, b| b.partial_cmp(a).unwrap());
+    row("dense", mass.iter().take(12).map(|&m| f(m as f64)));
+    println!("\npaper: rho ~= 1 for SWA; near 0 for local/strided; dense mass is near power-law");
+}

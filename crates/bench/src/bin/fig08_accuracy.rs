@@ -1,0 +1,124 @@
+//! Figure 8: accuracy (neg-perplexity for LM, accuracy for QA) of ALISA
+//! (SWA + INT8), SWA, dense, local, and strided attention across KV
+//! sparsity, model families, and datasets.
+//!
+//! Reproduces the paper's three findings: (1) SWA/ALISA track dense
+//! attention up to ~80% KV sparsity while local/strided collapse early;
+//! (2) robustness improves with emulated model scale; (3) INT8 KV
+//! compression is accuracy-neutral (ALISA ≈ SWA everywhere).
+
+use alisa_attention::policy::PolicyKind;
+use alisa_bench::{banner, f, row};
+use alisa_model::assoc::{AssocModel, AssocSpec};
+use alisa_model::engine::GenerationConfig;
+use alisa_model::{InitSpec, ModelConfig, TinyTransformer};
+use alisa_tensor::quant::QuantBits;
+use alisa_workloads::{evaluate_lm, evaluate_qa, Dataset, QaTask};
+
+/// The five methods of Figure 8, in its legend order.
+fn methods() -> Vec<(&'static str, PolicyKind, Option<QuantBits>)> {
+    vec![
+        ("dense", PolicyKind::Dense, None),
+        ("local", PolicyKind::Local, None),
+        ("strided", PolicyKind::Strided, None),
+        ("swa", PolicyKind::Swa, None),
+        ("alisa (swa+int8)", PolicyKind::Swa, Some(QuantBits::Int8)),
+    ]
+}
+
+fn cfg(kind: PolicyKind, sparsity: f32, quant: Option<QuantBits>) -> GenerationConfig {
+    GenerationConfig {
+        kv_quant: quant,
+        ..GenerationConfig::default().with_policy(kind, sparsity)
+    }
+}
+
+fn main() {
+    let quick = alisa_bench::quick_mode();
+    banner(
+        "Figure 8",
+        "accuracy vs KV sparsity: ALISA / SWA / dense / local / strided",
+    );
+    let sparsities: Vec<f32> = if quick {
+        vec![0.0, 0.8]
+    } else {
+        vec![0.0, 0.2, 0.4, 0.6, 0.8]
+    };
+    let models: Vec<ModelConfig> = if quick {
+        vec![ModelConfig::opt_6_7b(), ModelConfig::opt_30b()]
+    } else {
+        ModelConfig::paper_models()
+    };
+    let lm_datasets: Vec<Dataset> = if quick {
+        vec![Dataset::WikiText2]
+    } else {
+        Dataset::LM_ALL.to_vec()
+    };
+    let qa_tasks: Vec<QaTask> = if quick {
+        vec![QaTask::Copa]
+    } else {
+        QaTask::ALL.to_vec()
+    };
+    let (num_seqs, prompt_len, seq_len) = if quick { (2, 8, 64) } else { (3, 16, 160) };
+    let episodes_n = if quick { 8 } else { 24 };
+
+    let header: Vec<String> = sparsities.iter().map(|s| format!("{:.0}%", s * 100.0)).collect();
+
+    for target in &models {
+        let init = InitSpec::default().with_concentration_for_params(target.params());
+        let lm_model = TinyTransformer::structured(ModelConfig::tiny_4l(), init);
+        // QA retrieval sharpness also scales with emulated size.
+        let scale_b = (target.params() as f64 / 1e9).max(1.0);
+        let assoc = AssocModel::build(&AssocSpec {
+            sink_strength: 1.6 + 0.4 * (scale_b / 6.7).ln().max(-1.0) as f32,
+            seed: 17 ^ target.params(),
+            ..AssocSpec::default()
+        });
+
+        println!("\n===== {} (emulated) =====", target.name);
+        for ds in &lm_datasets {
+            let corpus = ds.spec(
+                lm_model.config().vocab_size,
+                init.anchor_count(lm_model.config().vocab_size),
+            );
+            println!("\n{} — negative perplexity (higher is better):", ds.label());
+            row("method \\ KV sparsity", header.iter().map(String::as_str));
+            for (name, kind, quant) in methods() {
+                let vals: Vec<String> = sparsities
+                    .iter()
+                    .map(|&sp| {
+                        let sp = if kind == PolicyKind::Dense { 0.0 } else { sp };
+                        let res = evaluate_lm(
+                            &lm_model,
+                            &corpus,
+                            &cfg(kind, sp, quant),
+                            num_seqs,
+                            prompt_len,
+                            seq_len,
+                        );
+                        f(-(res.perplexity as f64))
+                    })
+                    .collect();
+                row(name, vals.iter().map(String::as_str));
+            }
+        }
+        for task in &qa_tasks {
+            let eps = task.spec().episodes(&assoc, episodes_n);
+            println!("\n{} — 4-shot accuracy:", task.label());
+            row("method \\ KV sparsity", header.iter().map(String::as_str));
+            for (name, kind, quant) in methods() {
+                let vals: Vec<String> = sparsities
+                    .iter()
+                    .map(|&sp| {
+                        let sp = if kind == PolicyKind::Dense { 0.0 } else { sp };
+                        let res = evaluate_qa(&assoc, &eps, &cfg(kind, sp, quant));
+                        f(res.accuracy as f64)
+                    })
+                    .collect();
+                row(name, vals.iter().map(String::as_str));
+            }
+        }
+    }
+    println!("\npaper: SWA/ALISA ~= dense up to 80% sparsity; local/strided collapse at 20%;");
+    println!("       ALISA tracks SWA (INT8 is accuracy-neutral); larger models more robust");
+}

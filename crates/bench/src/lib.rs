@@ -1,0 +1,107 @@
+//! Shared harness utilities for the figure/table binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the
+//! paper (see `DESIGN.md` §4 for the index) and prints the same rows or
+//! series the paper plots. All binaries accept `--quick` to run a
+//! reduced sweep — the integration tests use it as a smoke test.
+
+use std::fmt::Display;
+
+/// Returns true if `--quick` was passed (reduced sweeps for CI/tests).
+pub fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+/// Prints a figure/table banner.
+pub fn banner(id: &str, caption: &str) {
+    println!("\n================================================================");
+    println!("{id} — {caption}");
+    println!("================================================================");
+}
+
+/// Prints one row of labelled values with a fixed label column.
+pub fn row<V: Display>(label: &str, values: impl IntoIterator<Item = V>) {
+    print!("{label:<28}");
+    for v in values {
+        print!(" {v:>10}");
+    }
+    println!();
+}
+
+/// Formats a float to a compact fixed width.
+pub fn f(v: f64) -> String {
+    if !v.is_finite() {
+        return "-".to_string();
+    }
+    if v == 0.0 {
+        return "0".to_string();
+    }
+    let av = v.abs();
+    if av >= 1000.0 {
+        format!("{v:.0}")
+    } else if av >= 10.0 {
+        format!("{v:.1}")
+    } else if av >= 0.01 {
+        format!("{v:.3}")
+    } else {
+        format!("{v:.2e}")
+    }
+}
+
+/// Formats bytes as GiB.
+pub fn gib(bytes: u64) -> String {
+    format!("{:.1}", bytes as f64 / (1u64 << 30) as f64)
+}
+
+/// An ASCII heat-cell for attention-map prints (Figures 4 and 5).
+pub fn heat_cell(v: f32, max: f32) -> char {
+    if max <= 0.0 {
+        return ' ';
+    }
+    let t = (v / max).clamp(0.0, 1.0);
+    match (t * 5.0) as u32 {
+        0 => {
+            if v > 0.0 {
+                '.'
+            } else {
+                ' '
+            }
+        }
+        1 => ':',
+        2 => '+',
+        3 => '*',
+        4 => '#',
+        _ => '@',
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(f(0.0), "0");
+        assert_eq!(f(f64::NAN), "-");
+        assert_eq!(f(12345.0), "12345");
+        assert_eq!(f(12.34), "12.3");
+        assert_eq!(f(0.1234), "0.123");
+        assert!(f(0.0001).contains('e'));
+    }
+
+    #[test]
+    fn gib_formatting() {
+        assert_eq!(gib(1 << 30), "1.0");
+        assert_eq!(gib(3 * (1 << 29)), "1.5");
+    }
+
+    #[test]
+    fn heat_cells_span_ramp() {
+        assert_eq!(heat_cell(0.0, 1.0), ' ');
+        assert_eq!(heat_cell(1.0, 1.0), '@');
+        assert_eq!(heat_cell(0.5, 0.0), ' ');
+        let ramp: Vec<char> = (0..=5).map(|i| heat_cell(i as f32 / 5.0, 1.0)).collect();
+        let distinct: std::collections::HashSet<char> = ramp.into_iter().collect();
+        assert!(distinct.len() >= 4);
+    }
+}

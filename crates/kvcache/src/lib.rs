@@ -1,0 +1,26 @@
+//! KV-cache management substrates (paper §V and Table I).
+//!
+//! The paper's central systems claim is about *granularity*: vLLM
+//! manages KV tensors in fixed blocks, FlexGen in static head-level
+//! splits, ALISA at the level of individual tokens. This crate
+//! implements all three placement substrates as byte-accurate state
+//! machines — the schedulers in `alisa-sched` drive them and charge the
+//! resulting traffic to the cost model:
+//!
+//! * [`token_store::TokenKvStore`] — per-token placement
+//!   (GPU / CPU / deleted), ALISA's substrate,
+//! * [`paged::PagedKvStore`] — fixed-size block pages swapped whole,
+//!   vLLM's substrate,
+//! * [`head_split::HeadSplitStore`] — a static fraction of every token's
+//!   KV pinned to CPU, FlexGen's substrate,
+//! * [`policies`] — eviction orderings, including the Belady oracle the
+//!   paper cites as the impractical upper bound (§III-C).
+
+pub mod head_split;
+pub mod paged;
+pub mod policies;
+pub mod token_store;
+
+pub use head_split::HeadSplitStore;
+pub use paged::PagedKvStore;
+pub use token_store::{Location, TokenKvStore};

@@ -1,0 +1,153 @@
+//! Eviction orderings for CPU-offload decisions, including the Belady
+//! oracle.
+//!
+//! §III-C of the paper: *"Theoretically, we could use Belady's Algorithm
+//! as the caching policy […] However, this oracle algorithm assumes
+//! future knowledge"*. ALISA instead uses the heuristic "keep the local
+//! window on GPU, offload the oldest" — this module provides both so the
+//! ablation benches can measure how close the heuristic gets.
+
+use serde::{Deserialize, Serialize};
+
+/// Which tokens to offload first when GPU KV memory is short.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EvictionOrder {
+    /// Offload the oldest (lowest-index) tokens first — ALISA's
+    /// heuristic, because the local window (newest tokens) is the
+    /// predictable part of the working set (§V-A).
+    OldestFirst,
+    /// Offload the newest tokens first (anti-heuristic control).
+    NewestFirst,
+}
+
+impl EvictionOrder {
+    /// Picks `k` victims from `resident` (ascending indices in, order
+    /// meaningful out: first element is the first victim).
+    pub fn victims(self, resident: &[usize], k: usize) -> Vec<usize> {
+        let k = k.min(resident.len());
+        match self {
+            EvictionOrder::OldestFirst => resident.iter().copied().take(k).collect(),
+            EvictionOrder::NewestFirst => resident.iter().copied().rev().take(k).collect(),
+        }
+    }
+}
+
+/// Simulates a cache of `capacity` token slots over a trace of per-step
+/// accessed token sets, with the chosen eviction order. Returns the
+/// number of misses (accesses to non-resident tokens ⇒ link transfers).
+pub fn simulate_misses(trace: &[Vec<usize>], capacity: usize, order: EvictionOrder) -> usize {
+    let mut resident: Vec<usize> = Vec::new();
+    let mut misses = 0;
+    for step in trace {
+        for &tok in step {
+            if !resident.contains(&tok) {
+                misses += 1;
+                if resident.len() >= capacity && capacity > 0 {
+                    let victim = order.victims(&resident, 1)[0];
+                    resident.retain(|&t| t != victim);
+                }
+                if capacity > 0 {
+                    resident.push(tok);
+                    resident.sort_unstable();
+                }
+            }
+        }
+    }
+    misses
+}
+
+/// Belady's oracle: evict the resident token whose next use lies
+/// farthest in the future (or never). Returns the miss count — the lower
+/// bound any realizable policy is compared against.
+pub fn belady_misses(trace: &[Vec<usize>], capacity: usize) -> usize {
+    let mut resident: Vec<usize> = Vec::new();
+    let mut misses = 0;
+    for (si, step) in trace.iter().enumerate() {
+        for &tok in step {
+            if resident.contains(&tok) {
+                continue;
+            }
+            misses += 1;
+            if capacity == 0 {
+                continue;
+            }
+            if resident.len() >= capacity {
+                // Farthest next use among residents.
+                let victim = *resident
+                    .iter()
+                    .max_by_key(|&&r| next_use(trace, si, tok, r))
+                    .expect("nonempty resident set");
+                resident.retain(|&t| t != victim);
+            }
+            resident.push(tok);
+        }
+    }
+    misses
+}
+
+/// Steps until `candidate` is used again after `now` (usize::MAX if
+/// never); the current token `tok` being inserted counts as in-use now.
+fn next_use(trace: &[Vec<usize>], now: usize, tok: usize, candidate: usize) -> usize {
+    if candidate == tok {
+        return 0;
+    }
+    for (d, step) in trace.iter().enumerate().skip(now) {
+        if step.contains(&candidate) && d > now {
+            return d - now;
+        }
+    }
+    usize::MAX
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oldest_first_victims() {
+        assert_eq!(
+            EvictionOrder::OldestFirst.victims(&[2, 5, 9], 2),
+            vec![2, 5]
+        );
+        assert_eq!(EvictionOrder::NewestFirst.victims(&[2, 5, 9], 1), vec![9]);
+        assert!(EvictionOrder::OldestFirst.victims(&[], 3).is_empty());
+    }
+
+    #[test]
+    fn no_misses_when_capacity_sufficient() {
+        let trace = vec![vec![0], vec![0, 1], vec![0, 1, 2]];
+        // 3 distinct tokens, capacity 3 ⇒ only 3 compulsory misses.
+        assert_eq!(simulate_misses(&trace, 3, EvictionOrder::OldestFirst), 3);
+        assert_eq!(belady_misses(&trace, 3), 3);
+    }
+
+    #[test]
+    fn belady_never_worse_than_heuristics() {
+        // Cyclic access pattern where LRU-style eviction thrashes.
+        let trace: Vec<Vec<usize>> = (0..12).map(|i| vec![i % 4]).collect();
+        for cap in 1..4 {
+            let b = belady_misses(&trace, cap);
+            let h = simulate_misses(&trace, cap, EvictionOrder::OldestFirst);
+            assert!(b <= h, "cap {cap}: belady {b} vs heuristic {h}");
+        }
+    }
+
+    #[test]
+    fn belady_classic_example() {
+        // Belady beats FIFO on this standard pattern.
+        let trace: Vec<Vec<usize>> = [0, 1, 2, 0, 1, 3, 0, 1, 2, 3]
+            .iter()
+            .map(|&t| vec![t])
+            .collect();
+        let fifo = simulate_misses(&trace, 3, EvictionOrder::OldestFirst);
+        let opt = belady_misses(&trace, 3);
+        assert!(opt < fifo, "belady {opt} must beat fifo {fifo}");
+    }
+
+    #[test]
+    fn zero_capacity_counts_every_access() {
+        let trace = vec![vec![0], vec![0], vec![0]];
+        assert_eq!(simulate_misses(&trace, 0, EvictionOrder::OldestFirst), 3);
+        assert_eq!(belady_misses(&trace, 0), 3);
+    }
+}

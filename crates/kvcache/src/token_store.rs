@@ -1,0 +1,234 @@
+//! Token-level KV placement — ALISA's caching substrate (Table I:
+//! "Caching granularity: token-level (dynamic)").
+//!
+//! One entry per token position; every entry's KV bytes live on the GPU,
+//! on the CPU, or nowhere (deleted, pending recomputation — Phase III).
+//! All byte movements are returned to the caller so the scheduler can
+//! charge them to memory pools and the transfer clock.
+
+use serde::{Deserialize, Serialize};
+
+/// Where a token's KV tensor currently lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Location {
+    /// Resident in GPU HBM — usable immediately.
+    Gpu,
+    /// Offloaded to CPU DRAM — must cross the link before use.
+    Cpu,
+    /// Deleted (Phase III) — must be recomputed before use.
+    Deleted,
+}
+
+impl std::fmt::Display for Location {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Location::Gpu => write!(f, "gpu"),
+            Location::Cpu => write!(f, "cpu"),
+            Location::Deleted => write!(f, "deleted"),
+        }
+    }
+}
+
+/// Byte-accurate, token-granular KV placement map for one batch.
+///
+/// `bytes_per_token` already includes the batch factor: for a batch of
+/// `b` sequences the paper's Eq. 3 token size is `4·b·l·h` bytes (FP16),
+/// or half that under INT8 KV compression.
+///
+/// # Example
+///
+/// ```
+/// use alisa_kvcache::{TokenKvStore, Location};
+///
+/// let mut store = TokenKvStore::new(1024);
+/// store.append(Location::Gpu);
+/// store.append(Location::Gpu);
+/// let moved = store.relocate(0, Location::Cpu);
+/// assert_eq!(moved, 1024);
+/// assert_eq!(store.count(Location::Gpu), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TokenKvStore {
+    bytes_per_token: u64,
+    locations: Vec<Location>,
+}
+
+impl TokenKvStore {
+    /// Creates an empty store.
+    pub fn new(bytes_per_token: u64) -> Self {
+        TokenKvStore {
+            bytes_per_token,
+            locations: Vec::new(),
+        }
+    }
+
+    /// Bytes occupied by one token's KV entry.
+    pub fn bytes_per_token(&self) -> u64 {
+        self.bytes_per_token
+    }
+
+    /// Number of token positions tracked (including deleted ones).
+    pub fn len(&self) -> usize {
+        self.locations.len()
+    }
+
+    /// Whether no tokens have been appended.
+    pub fn is_empty(&self) -> bool {
+        self.locations.is_empty()
+    }
+
+    /// Appends the next token's KV entry at `location`, returning its
+    /// index.
+    pub fn append(&mut self, location: Location) -> usize {
+        self.locations.push(location);
+        self.locations.len() - 1
+    }
+
+    /// Location of token `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn location(&self, i: usize) -> Location {
+        self.locations[i]
+    }
+
+    /// Moves token `i` to `to`, returning the bytes that crossed the
+    /// link (0 if the location is unchanged or the move is to/from
+    /// `Deleted` — deletion frees bytes and recomputation regenerates
+    /// them on-GPU without link traffic).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn relocate(&mut self, i: usize, to: Location) -> u64 {
+        let from = self.locations[i];
+        self.locations[i] = to;
+        match (from, to) {
+            (Location::Gpu, Location::Cpu) | (Location::Cpu, Location::Gpu) => {
+                self.bytes_per_token
+            }
+            _ => 0,
+        }
+    }
+
+    /// Number of tokens at `location`.
+    pub fn count(&self, location: Location) -> usize {
+        self.locations.iter().filter(|&&l| l == location).count()
+    }
+
+    /// Bytes resident at `location`.
+    pub fn bytes_at(&self, location: Location) -> u64 {
+        self.count(location) as u64 * self.bytes_per_token
+    }
+
+    /// Indices currently at `location`, ascending.
+    pub fn indices_at(&self, location: Location) -> Vec<usize> {
+        self.locations
+            .iter()
+            .enumerate()
+            .filter(|(_, &l)| l == location)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// The `k` oldest (lowest-index) tokens at `location`.
+    pub fn oldest_at(&self, location: Location, k: usize) -> Vec<usize> {
+        self.indices_at(location).into_iter().take(k).collect()
+    }
+
+    /// For a set of needed token indices, partitions them by where they
+    /// currently live — the scheduler's per-step working set analysis.
+    pub fn partition_needed(&self, needed: &[usize]) -> NeededPartition {
+        let mut p = NeededPartition::default();
+        for &i in needed {
+            match self.locations.get(i) {
+                Some(Location::Gpu) => p.on_gpu.push(i),
+                Some(Location::Cpu) => p.on_cpu.push(i),
+                Some(Location::Deleted) => p.deleted.push(i),
+                None => p.missing.push(i),
+            }
+        }
+        p
+    }
+}
+
+/// Result of [`TokenKvStore::partition_needed`].
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NeededPartition {
+    /// Needed tokens already resident on the GPU.
+    pub on_gpu: Vec<usize>,
+    /// Needed tokens that must be loaded across the link.
+    pub on_cpu: Vec<usize>,
+    /// Needed tokens that must be recomputed (Phase III).
+    pub deleted: Vec<usize>,
+    /// Indices never appended — indicates a scheduler bug.
+    pub missing: Vec<usize>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn append_and_count() {
+        let mut s = TokenKvStore::new(100);
+        assert!(s.is_empty());
+        assert_eq!(s.append(Location::Gpu), 0);
+        assert_eq!(s.append(Location::Cpu), 1);
+        assert_eq!(s.append(Location::Gpu), 2);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.count(Location::Gpu), 2);
+        assert_eq!(s.bytes_at(Location::Gpu), 200);
+        assert_eq!(s.bytes_at(Location::Cpu), 100);
+    }
+
+    #[test]
+    fn relocate_charges_link_traffic_only_for_real_moves() {
+        let mut s = TokenKvStore::new(64);
+        s.append(Location::Gpu);
+        assert_eq!(s.relocate(0, Location::Cpu), 64);
+        assert_eq!(s.relocate(0, Location::Cpu), 0, "no-op move is free");
+        assert_eq!(s.relocate(0, Location::Gpu), 64);
+        assert_eq!(s.relocate(0, Location::Deleted), 0, "deletion is free");
+        assert_eq!(s.location(0), Location::Deleted);
+        // Recompute lands the token back on GPU without link traffic.
+        assert_eq!(s.relocate(0, Location::Gpu), 0);
+    }
+
+    #[test]
+    fn indices_and_oldest() {
+        let mut s = TokenKvStore::new(1);
+        for loc in [
+            Location::Gpu,
+            Location::Cpu,
+            Location::Cpu,
+            Location::Gpu,
+            Location::Cpu,
+        ] {
+            s.append(loc);
+        }
+        assert_eq!(s.indices_at(Location::Cpu), vec![1, 2, 4]);
+        assert_eq!(s.oldest_at(Location::Cpu, 2), vec![1, 2]);
+        assert_eq!(s.oldest_at(Location::Gpu, 10), vec![0, 3]);
+    }
+
+    #[test]
+    fn partition_needed_splits_correctly() {
+        let mut s = TokenKvStore::new(1);
+        s.append(Location::Gpu); // 0
+        s.append(Location::Cpu); // 1
+        s.append(Location::Deleted); // 2
+        let p = s.partition_needed(&[0, 1, 2, 9]);
+        assert_eq!(p.on_gpu, vec![0]);
+        assert_eq!(p.on_cpu, vec![1]);
+        assert_eq!(p.deleted, vec![2]);
+        assert_eq!(p.missing, vec![9]);
+    }
+
+    #[test]
+    fn display_locations() {
+        assert_eq!(Location::Gpu.to_string(), "gpu");
+        assert_eq!(Location::Deleted.to_string(), "deleted");
+    }
+}

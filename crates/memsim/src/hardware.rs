@@ -1,0 +1,195 @@
+//! Hardware specifications and the paper's testbed presets (§VI-A).
+//!
+//! The paper uses: NVIDIA Tesla V100 with 16/32 GB HBM for 7B/13B-class
+//! models, NVIDIA H100 with 80 GB for 30B-class models, a 2.60 GHz Intel
+//! Xeon host with 128 GB DRAM, and a 20 GB/s CPU–GPU interconnect.
+
+use serde::{Deserialize, Serialize};
+
+/// Gibibyte helper — all capacities in this crate are plain byte counts.
+pub const GIB: u64 = 1 << 30;
+
+/// A GPU: compute throughput, on-device memory capacity and bandwidth.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GpuSpec {
+    /// Human-readable device name (appears in reports).
+    pub name: String,
+    /// HBM capacity in bytes.
+    pub memory_bytes: u64,
+    /// HBM bandwidth in bytes/second.
+    pub memory_bandwidth: f64,
+    /// Peak half-precision throughput in FLOP/s.
+    pub peak_flops: f64,
+}
+
+/// The host CPU and its DRAM.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CpuSpec {
+    /// Human-readable name.
+    pub name: String,
+    /// DRAM capacity in bytes.
+    pub memory_bytes: u64,
+    /// DRAM bandwidth in bytes/second (bounds CPU-side packing work).
+    pub memory_bandwidth: f64,
+}
+
+/// The CPU↔GPU interconnect.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinkSpec {
+    /// Sustained bandwidth in bytes/second (paper: 20 GB/s).
+    pub bandwidth: f64,
+    /// Fixed per-transfer latency in seconds (kernel launch + DMA setup).
+    pub latency: f64,
+}
+
+/// A complete single-GPU/CPU system, the paper's deployment target.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HardwareSpec {
+    /// The accelerator.
+    pub gpu: GpuSpec,
+    /// The host.
+    pub cpu: CpuSpec,
+    /// The interconnect between them.
+    pub link: LinkSpec,
+}
+
+impl HardwareSpec {
+    /// Tesla V100 with 16 GB HBM2 — the paper's 7B-model testbed.
+    pub fn v100_16gb() -> Self {
+        HardwareSpec {
+            gpu: GpuSpec {
+                name: "NVIDIA Tesla V100-16GB".to_string(),
+                memory_bytes: 16 * GIB,
+                memory_bandwidth: 900.0e9,
+                peak_flops: 125.0e12,
+            },
+            cpu: Self::xeon(),
+            link: Self::pcie_20gbs(),
+        }
+    }
+
+    /// Tesla V100 with 32 GB HBM2 — the paper's 13B-model testbed.
+    pub fn v100_32gb() -> Self {
+        HardwareSpec {
+            gpu: GpuSpec {
+                name: "NVIDIA Tesla V100-32GB".to_string(),
+                memory_bytes: 32 * GIB,
+                memory_bandwidth: 900.0e9,
+                peak_flops: 125.0e12,
+            },
+            cpu: Self::xeon(),
+            link: Self::pcie_20gbs(),
+        }
+    }
+
+    /// H100 with 80 GB HBM3 — the paper's 30B-model testbed.
+    pub fn h100_80gb() -> Self {
+        HardwareSpec {
+            gpu: GpuSpec {
+                name: "NVIDIA H100-80GB".to_string(),
+                memory_bytes: 80 * GIB,
+                memory_bandwidth: 3350.0e9,
+                peak_flops: 990.0e12,
+            },
+            cpu: Self::xeon(),
+            link: Self::pcie_20gbs(),
+        }
+    }
+
+    /// The paper's host: 2.60 GHz Intel Xeon, 128 GB DRAM.
+    fn xeon() -> CpuSpec {
+        CpuSpec {
+            name: "Intel Xeon 2.60GHz".to_string(),
+            memory_bytes: 128 * GIB,
+            memory_bandwidth: 100.0e9,
+        }
+    }
+
+    /// The paper's interconnect: 20 GB/s sustained.
+    fn pcie_20gbs() -> LinkSpec {
+        LinkSpec {
+            bandwidth: 20.0e9,
+            latency: 10.0e-6,
+        }
+    }
+
+    /// Picks the testbed the paper pairs with a given model scale
+    /// (§VI-A "Implementation"): V100-16GB for ~7B, V100-32GB for ~13B,
+    /// H100-80GB for ~30B and larger.
+    pub fn for_model_params(params: u64) -> Self {
+        const B: u64 = 1_000_000_000;
+        if params <= 8 * B {
+            Self::v100_16gb()
+        } else if params <= 14 * B {
+            Self::v100_32gb()
+        } else {
+            Self::h100_80gb()
+        }
+    }
+}
+
+impl std::fmt::Display for HardwareSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} ({:.0} GiB HBM) + {} ({:.0} GiB) @ {:.0} GB/s",
+            self.gpu.name,
+            self.gpu.memory_bytes as f64 / GIB as f64,
+            self.cpu.name,
+            self.cpu.memory_bytes as f64 / GIB as f64,
+            self.link.bandwidth / 1e9
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_paper_testbeds() {
+        assert_eq!(HardwareSpec::v100_16gb().gpu.memory_bytes, 16 * GIB);
+        assert_eq!(HardwareSpec::v100_32gb().gpu.memory_bytes, 32 * GIB);
+        assert_eq!(HardwareSpec::h100_80gb().gpu.memory_bytes, 80 * GIB);
+        // All presets use the paper's 20 GB/s link and 128 GB host.
+        for hw in [
+            HardwareSpec::v100_16gb(),
+            HardwareSpec::v100_32gb(),
+            HardwareSpec::h100_80gb(),
+        ] {
+            assert_eq!(hw.link.bandwidth, 20.0e9);
+            assert_eq!(hw.cpu.memory_bytes, 128 * GIB);
+        }
+    }
+
+    #[test]
+    fn h100_outclasses_v100() {
+        let v = HardwareSpec::v100_32gb();
+        let h = HardwareSpec::h100_80gb();
+        assert!(h.gpu.peak_flops > v.gpu.peak_flops);
+        assert!(h.gpu.memory_bandwidth > v.gpu.memory_bandwidth);
+    }
+
+    #[test]
+    fn model_scale_selects_testbed() {
+        assert_eq!(
+            HardwareSpec::for_model_params(6_700_000_000).gpu.name,
+            "NVIDIA Tesla V100-16GB"
+        );
+        assert_eq!(
+            HardwareSpec::for_model_params(13_000_000_000).gpu.name,
+            "NVIDIA Tesla V100-32GB"
+        );
+        assert_eq!(
+            HardwareSpec::for_model_params(30_000_000_000).gpu.name,
+            "NVIDIA H100-80GB"
+        );
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = HardwareSpec::v100_16gb().to_string();
+        assert!(s.contains("V100"));
+        assert!(s.contains("20 GB/s"));
+    }
+}

@@ -1,0 +1,242 @@
+//! Per-step time and memory accounting.
+//!
+//! Every throughput and breakdown figure in the paper (1, 2(c), 9, 11,
+//! 12) is an aggregation over per-decoding-step component times. The
+//! schedulers in `alisa-sched` append one [`StepRecord`] per step; the
+//! figure harnesses aggregate them.
+
+use serde::{Deserialize, Serialize};
+
+/// Time and memory for one inference step, split by component.
+///
+/// All times in seconds, all memory in bytes. `phase` is the ALISA
+/// scheduling phase (1, 2 or 3) active during the step, or 0 for
+/// baselines without phases.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct StepRecord {
+    /// Decoding step index (0 = prefill).
+    pub step: usize,
+    /// ALISA scheduling phase active at this step (0 if not applicable).
+    pub phase: u8,
+    /// Multi-head attention compute time (incl. addition + layernorm,
+    /// per the paper's convention in Figure 1).
+    pub mha_time: f64,
+    /// Feed-forward network compute time (incl. addition + layernorm).
+    pub ffn_time: f64,
+    /// Time recomputing deleted KV tensors (ALISA Phase III).
+    pub recompute_time: f64,
+    /// CPU→GPU transfer time for reloaded KV tensors.
+    pub load_time: f64,
+    /// GPU→CPU transfer time for offloaded KV tensors.
+    pub store_time: f64,
+    /// KV quantize/dequantize time (when KV compression is enabled).
+    pub quant_time: f64,
+    /// Sparse-token selection overhead: local attention sum + top-k +
+    /// gather (the "SWA overhead" of Figure 11).
+    pub selection_time: f64,
+    /// GPU memory in use at the end of the step.
+    pub gpu_mem: u64,
+    /// CPU memory in use at the end of the step.
+    pub cpu_mem: u64,
+}
+
+impl StepRecord {
+    /// Total wall-clock time of the step.
+    pub fn total_time(&self) -> f64 {
+        self.mha_time
+            + self.ffn_time
+            + self.recompute_time
+            + self.load_time
+            + self.store_time
+            + self.quant_time
+            + self.selection_time
+    }
+
+    /// Pure compute time (no transfers).
+    pub fn compute_time(&self) -> f64 {
+        self.mha_time + self.ffn_time + self.recompute_time + self.selection_time
+    }
+
+    /// Pure CPU–GPU traffic time.
+    pub fn transfer_time(&self) -> f64 {
+        self.load_time + self.store_time
+    }
+}
+
+/// An append-only log of [`StepRecord`]s for one simulated inference run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Timeline {
+    records: Vec<StepRecord>,
+}
+
+impl Timeline {
+    /// Creates an empty timeline.
+    pub fn new() -> Self {
+        Timeline::default()
+    }
+
+    /// Appends one step record.
+    pub fn push(&mut self, record: StepRecord) {
+        self.records.push(record);
+    }
+
+    /// All records, in step order.
+    pub fn records(&self) -> &[StepRecord] {
+        &self.records
+    }
+
+    /// Number of recorded steps.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether no steps were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Total wall-clock time of the run.
+    pub fn total_time(&self) -> f64 {
+        self.records.iter().map(StepRecord::total_time).sum()
+    }
+
+    /// Total compute time across the run.
+    pub fn total_compute_time(&self) -> f64 {
+        self.records.iter().map(StepRecord::compute_time).sum()
+    }
+
+    /// Total CPU–GPU transfer time across the run.
+    pub fn total_transfer_time(&self) -> f64 {
+        self.records.iter().map(StepRecord::transfer_time).sum()
+    }
+
+    /// End-to-end token throughput: `generated_tokens / total_time`
+    /// (the paper's §VI-A metric, counting prefill in the denominator).
+    pub fn throughput(&self, generated_tokens: usize) -> f64 {
+        let t = self.total_time();
+        if t <= 0.0 {
+            0.0
+        } else {
+            generated_tokens as f64 / t
+        }
+    }
+
+    /// Peak GPU memory observed across all steps.
+    pub fn peak_gpu_mem(&self) -> u64 {
+        self.records.iter().map(|r| r.gpu_mem).max().unwrap_or(0)
+    }
+
+    /// Peak CPU memory observed across all steps.
+    pub fn peak_cpu_mem(&self) -> u64 {
+        self.records.iter().map(|r| r.cpu_mem).max().unwrap_or(0)
+    }
+
+    /// Records whose `phase` equals the given ALISA phase.
+    pub fn phase_records(&self, phase: u8) -> impl Iterator<Item = &StepRecord> {
+        self.records.iter().filter(move |r| r.phase == phase)
+    }
+
+    /// Total time spent inside the given phase — Figure 12(a)'s bars.
+    pub fn phase_time(&self, phase: u8) -> f64 {
+        self.phase_records(phase).map(StepRecord::total_time).sum()
+    }
+
+    /// The step index at which `phase` began, if it was ever entered.
+    pub fn phase_start(&self, phase: u8) -> Option<usize> {
+        self.phase_records(phase).map(|r| r.step).min()
+    }
+
+    /// Sum of an arbitrary per-record component — used by figure
+    /// harnesses to build custom breakdowns.
+    pub fn sum_by<F: Fn(&StepRecord) -> f64>(&self, f: F) -> f64 {
+        self.records.iter().map(f).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(step: usize, phase: u8, mha: f64, load: f64) -> StepRecord {
+        StepRecord {
+            step,
+            phase,
+            mha_time: mha,
+            load_time: load,
+            gpu_mem: step as u64 * 10,
+            cpu_mem: step as u64,
+            ..StepRecord::default()
+        }
+    }
+
+    #[test]
+    fn step_totals_sum_components() {
+        let r = StepRecord {
+            step: 0,
+            phase: 1,
+            mha_time: 1.0,
+            ffn_time: 2.0,
+            recompute_time: 3.0,
+            load_time: 4.0,
+            store_time: 5.0,
+            quant_time: 6.0,
+            selection_time: 7.0,
+            gpu_mem: 0,
+            cpu_mem: 0,
+        };
+        assert!((r.total_time() - 28.0).abs() < 1e-12);
+        assert!((r.compute_time() - 13.0).abs() < 1e-12);
+        assert!((r.transfer_time() - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn timeline_aggregates() {
+        let mut t = Timeline::new();
+        t.push(rec(0, 1, 1.0, 0.0));
+        t.push(rec(1, 2, 1.0, 2.0));
+        t.push(rec(2, 2, 1.0, 2.0));
+        assert_eq!(t.len(), 3);
+        assert!((t.total_time() - 7.0).abs() < 1e-12);
+        assert!((t.total_compute_time() - 3.0).abs() < 1e-12);
+        assert!((t.total_transfer_time() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn throughput_is_tokens_over_time() {
+        let mut t = Timeline::new();
+        t.push(rec(0, 1, 2.0, 0.0));
+        assert!((t.throughput(10) - 5.0).abs() < 1e-12);
+        assert_eq!(Timeline::new().throughput(10), 0.0);
+    }
+
+    #[test]
+    fn peak_memory_tracking() {
+        let mut t = Timeline::new();
+        t.push(rec(1, 1, 0.0, 0.0));
+        t.push(rec(5, 1, 0.0, 0.0));
+        t.push(rec(3, 1, 0.0, 0.0));
+        assert_eq!(t.peak_gpu_mem(), 50);
+        assert_eq!(t.peak_cpu_mem(), 5);
+        assert_eq!(Timeline::new().peak_gpu_mem(), 0);
+    }
+
+    #[test]
+    fn phase_filtering() {
+        let mut t = Timeline::new();
+        t.push(rec(0, 1, 1.0, 0.0));
+        t.push(rec(1, 2, 1.0, 1.0));
+        t.push(rec(2, 3, 1.0, 0.5));
+        assert_eq!(t.phase_records(2).count(), 1);
+        assert!((t.phase_time(2) - 2.0).abs() < 1e-12);
+        assert_eq!(t.phase_start(3), Some(2));
+        assert_eq!(t.phase_start(7), None);
+    }
+
+    #[test]
+    fn sum_by_custom_component() {
+        let mut t = Timeline::new();
+        t.push(rec(0, 1, 1.5, 0.0));
+        t.push(rec(1, 1, 2.5, 0.0));
+        assert!((t.sum_by(|r| r.mha_time) - 4.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,568 @@
+//! ALISA's three-phase, token-level dynamic scheduler (Algorithm 2) and
+//! the offline plan optimizer (Eq. 3–6).
+//!
+//! Per decoding step the simulator executes the real algorithm:
+//!
+//! * **Phase I — GPU caching**: all KV tensors fit in HBM; no traffic.
+//! * **Phase II — GPU–CPU caching**: the KV working set exceeds HBM
+//!   headroom, so the oldest tokens *outside the sparse working set*
+//!   are offloaded (locally-static tokens stay pinned on GPU, §V-A:
+//!   "we prefer allocating local tokens in GPU […] global tokens are
+//!   less predictable"). Globally-dynamic tokens that drifted onto the
+//!   CPU are pulled back across the link when SWA selects them.
+//! * **Phase III — recomputation–caching**: past the `p2` sequence
+//!   length, a `β` fraction of would-be offloads is *deleted* instead of
+//!   stored; if a deleted token is later selected, its K/V rows are
+//!   recomputed on the GPU (two projection GEMMs per layer) — cheaper
+//!   than crossing the link once sequences are long.
+//!
+//! With KV compression enabled, CPU-resident tokens are stored INT8:
+//! half the bytes cross the link, plus a quantize/dequantize vector op
+//! (paper §V-B).
+
+use alisa_kvcache::{Location, TokenKvStore};
+use alisa_memsim::{HardwareSpec, MemClass, StepRecord};
+use alisa_model::ModelConfig;
+use serde::{Deserialize, Serialize};
+
+use crate::common::{efficiency, hash_unit, SimBase, FP16};
+use crate::report::RunReport;
+use crate::workload::Workload;
+use crate::InferenceSystem;
+
+/// Tunable plan of Algorithm 2: `{α, β, p2}`.
+///
+/// `p1` (the Phase II entry step) is triggered by memory pressure itself
+/// — the paper notes "the phase change is triggered by the sequence
+/// length", and the sequence length at which KV outgrows HBM is a
+/// deterministic function of the workload, so the optimizer does not
+/// search over it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Plan {
+    /// Offload aggressiveness `α ∈ (0, 1]`: when GPU KV exceeds the
+    /// headroom, it is drained down to `α ×` headroom. Smaller α batches
+    /// offloads (fewer, larger transfers); larger α offloads lazily.
+    pub alpha: f64,
+    /// Recompute ratio `β ∈ [0, 1]`: fraction of Phase III evictions
+    /// deleted (recompute-on-demand) rather than stored to CPU.
+    pub beta: f64,
+    /// Phase III trigger as a fraction of the final sequence length
+    /// (`> 1.0` disables Phase III).
+    pub p2_frac: f64,
+}
+
+impl Default for Plan {
+    /// A safe plan used before optimization: moderately lazy offload,
+    /// recomputation on for the last quarter of the sequence.
+    fn default() -> Self {
+        Plan {
+            alpha: 0.9,
+            beta: 0.5,
+            p2_frac: 0.75,
+        }
+    }
+}
+
+/// The ALISA inference system: SWA sparsity + dynamic scheduling +
+/// optional INT8 KV compression.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AlisaScheduler {
+    /// Target KV sparsity (the paper evaluates 80% end-to-end).
+    pub kv_sparsity: f64,
+    /// INT8 KV compression for CPU-resident tokens (§V-B).
+    pub kv_compression: bool,
+    /// Scheduling plan (defaults to [`Plan::default`]; tune with
+    /// [`PlanOptimizer`]).
+    pub plan: Plan,
+    /// History depth of SWA's local attention sum.
+    pub history_depth: usize,
+}
+
+impl AlisaScheduler {
+    /// Creates ALISA at the given sparsity, with or without KV
+    /// compression, under the default plan.
+    pub fn new(kv_sparsity: f64, kv_compression: bool) -> Self {
+        assert!((0.0..1.0).contains(&kv_sparsity), "sparsity must be in [0,1)");
+        AlisaScheduler {
+            kv_sparsity,
+            kv_compression,
+            plan: Plan::default(),
+            history_depth: 4,
+        }
+    }
+
+    /// Replaces the scheduling plan.
+    pub fn with_plan(mut self, plan: Plan) -> Self {
+        self.plan = plan;
+        self
+    }
+
+    /// Ablation helper: SWA only — no offloading benefit modelling
+    /// beyond what the budget saves, recomputation off.
+    pub fn without_recompute(mut self) -> Self {
+        self.plan.p2_frac = 2.0;
+        self.plan.beta = 0.0;
+        self
+    }
+
+    fn cpu_bytes_per_token(&self, fp16_bytes: u64) -> u64 {
+        if self.kv_compression {
+            fp16_bytes / 2
+        } else {
+            fp16_bytes
+        }
+    }
+}
+
+/// Deterministic drifting heavy-hitter model: which `k` global tokens
+/// SWA's local attention sum selects at a given step.
+///
+/// Trained-model attention statistics are unavailable in the performance
+/// simulator, so the global set follows the same structure the
+/// functional path measures: a persistent per-position hotness
+/// (heavy hitters), a recency tilt, and slow epoch-wise drift (topics
+/// shift as text is generated). Fully deterministic per (seed, step).
+#[derive(Debug, Clone, Copy)]
+pub struct GlobalSetModel {
+    seed: u64,
+    /// Steps between drift epochs (the set churns when epochs roll).
+    pub epoch: usize,
+}
+
+impl GlobalSetModel {
+    /// Creates the model for one run.
+    pub fn new(seed: u64) -> Self {
+        GlobalSetModel { seed, epoch: 32 }
+    }
+
+    /// Scores position `p` at step `j`; higher = more likely selected.
+    fn score(&self, p: usize, j: usize, seq_len: usize) -> f64 {
+        let hot = hash_unit(self.seed, p as u64);
+        let drift = hash_unit(self.seed ^ 0xD21F, (p as u64) << 20 | (j / self.epoch) as u64);
+        let recency = p as f64 / seq_len.max(1) as f64;
+        0.55 * hot + 0.2 * drift + 0.25 * recency
+    }
+
+    /// The `k` global positions among `0..range_end` at step `j`.
+    pub fn pick(&self, k: usize, range_end: usize, j: usize, seq_len: usize) -> Vec<usize> {
+        if k == 0 || range_end == 0 {
+            return Vec::new();
+        }
+        let mut idx: Vec<usize> = (0..range_end).collect();
+        idx.sort_by(|&a, &b| {
+            self.score(b, j, seq_len)
+                .partial_cmp(&self.score(a, j, seq_len))
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(b.cmp(&a))
+        });
+        let mut out: Vec<usize> = idx.into_iter().take(k.min(range_end)).collect();
+        out.sort_unstable();
+        out
+    }
+}
+
+impl InferenceSystem for AlisaScheduler {
+    fn name(&self) -> &'static str {
+        "ALISA"
+    }
+
+    fn run(&self, model: &ModelConfig, hw: &HardwareSpec, wl: &Workload) -> RunReport {
+        let mut sim = SimBase::new(hw);
+        if let Err(e) = sim.setup_resident(model, wl, true) {
+            return sim.oom(self.name(), model, wl, 0, e);
+        }
+
+        let b = wl.batch_size;
+        let fp16_tok = model.kv_bytes_per_token(FP16) * b as u64;
+        let cpu_tok = self.cpu_bytes_per_token(fp16_tok);
+        let headroom = sim.gpu_kv_headroom();
+        let r = 1.0 - self.kv_sparsity;
+        let final_seq = wl.final_seq_len();
+        let p2_seq = (self.plan.p2_frac * final_seq as f64) as usize;
+        let globals = GlobalSetModel::new(mix_name(model, wl));
+        let mut store = TokenKvStore::new(fp16_tok);
+
+        // A few tokens of transient workspace stay free for streamed
+        // (non-cached) working-set tokens, mirroring the layer-wise
+        // scheduling the paper describes ("schedule KV tensors in a
+        // layerwise manner"): only one layer's gathered KV needs to be
+        // resident at a time, so a small bounce buffer suffices.
+        let margin = 4 * fp16_tok;
+        let watermark = ((headroom as f64 * self.plan.alpha) as u64).saturating_sub(margin);
+
+        // ---- Prefill: all prompt tokens, spilling the oldest to CPU if
+        // the prompt KV alone exceeds the offload watermark.
+        let mut prefill_store_bytes = 0u64;
+        for _ in 0..wl.input_len {
+            store.append(Location::Gpu);
+        }
+        let mut gpu_kv = wl.input_len as u64 * fp16_tok;
+        while gpu_kv > watermark {
+            let Some(&victim) = store.oldest_at(Location::Gpu, 1).first() else {
+                break;
+            };
+            store.relocate(victim, Location::Cpu);
+            gpu_kv -= fp16_tok;
+            prefill_store_bytes += cpu_tok;
+        }
+        if let Err(e) = sim.gpu.alloc(MemClass::KvCache, gpu_kv) {
+            return sim.oom(self.name(), model, wl, 0, e);
+        }
+        if let Err(e) = sim
+            .cpu
+            .alloc(MemClass::KvCache, store.count(Location::Cpu) as u64 * cpu_tok)
+        {
+            return sim.oom(self.name(), model, wl, 0, e);
+        }
+
+        let mut rec = StepRecord {
+            step: 0,
+            phase: if prefill_store_bytes > 0 { 2 } else { 1 },
+            mha_time: sim.prefill_compute(model, b, wl.input_len, efficiency::FLEXGEN),
+            store_time: sim.cost.transfer_time(prefill_store_bytes),
+            gpu_mem: sim.gpu.used(),
+            cpu_mem: sim.cpu.used(),
+            ..StepRecord::default()
+        };
+        if self.kv_compression && prefill_store_bytes > 0 {
+            rec.quant_time = sim.cost.quantize_time(prefill_store_bytes);
+        }
+        sim.timeline.push(rec);
+
+        let mut entered_phase2 = prefill_store_bytes > 0;
+
+        // ---- Decode loop (Algorithm 2).
+        let mut beta_acc = 0.0f64;
+        for j in 1..=wl.output_len {
+            let seq_len = wl.input_len + j;
+            let budget = ((seq_len as f64 * r).round() as usize).clamp(1, seq_len);
+            let k_local = budget.div_ceil(2);
+            let k_global = budget - k_local;
+
+            let mut load_bytes = 0u64;
+            let mut store_bytes = 0u64;
+            let mut recompute_tokens = 0usize;
+            let phase3 = seq_len >= p2_seq;
+
+            // SWA working set: pinned local window + drifting globals.
+            let window_start = seq_len - k_local;
+            let global_set = globals.pick(k_global, window_start, j, seq_len);
+
+            // (a) Make room for the incoming token: offload (or, in
+            // Phase III, delete) the oldest GPU tokens. Working-set
+            // tokens are preferred victims *last*: first anything
+            // outside window ∪ globals, then globals, then the window
+            // itself (the degenerate streaming regime).
+            let target = watermark.saturating_sub(fp16_tok);
+            while sim.gpu.used_by(MemClass::KvCache) > target {
+                let resident = store.oldest_at(Location::Gpu, usize::MAX);
+                let victim = resident
+                    .iter()
+                    .copied()
+                    .find(|&i| i < window_start && !global_set.contains(&i))
+                    .or_else(|| resident.iter().copied().find(|&i| i < window_start))
+                    .or_else(|| resident.first().copied());
+                let Some(victim) = victim else { break };
+                sim.gpu.free(MemClass::KvCache, fp16_tok);
+                beta_acc += self.plan.beta;
+                if phase3 && beta_acc >= 1.0 {
+                    // Algorithm 2 line 17: delete instead of store.
+                    beta_acc -= 1.0;
+                    store.relocate(victim, Location::Deleted);
+                } else {
+                    store.relocate(victim, Location::Cpu);
+                    store_bytes += cpu_tok;
+                    if let Err(e) = sim.cpu.alloc(MemClass::KvCache, cpu_tok) {
+                        return sim.oom(self.name(), model, wl, j, e);
+                    }
+                }
+                entered_phase2 = true;
+            }
+
+            // (b) Append the new token's KV on GPU.
+            if let Err(e) = sim.gpu.alloc(MemClass::KvCache, fp16_tok) {
+                return sim.oom(self.name(), model, wl, j, e);
+            }
+            store.append(Location::Gpu);
+
+            // (c) Load/recompute the globals that are not GPU-resident.
+            // When the watermark allows, pulled tokens are *cached* on
+            // the GPU; otherwise they stream through the transient
+            // margin buffer and are charged again next step.
+            let part = store.partition_needed(&global_set);
+            debug_assert!(part.missing.is_empty(), "global set out of range");
+            for &i in &part.on_cpu {
+                load_bytes += cpu_tok;
+                if sim.gpu.used_by(MemClass::KvCache) + fp16_tok <= watermark {
+                    store.relocate(i, Location::Gpu);
+                    sim.cpu.free(MemClass::KvCache, cpu_tok);
+                    sim.gpu
+                        .alloc(MemClass::KvCache, fp16_tok)
+                        .expect("within watermark");
+                }
+                entered_phase2 = true;
+            }
+            for &i in &part.deleted {
+                recompute_tokens += 1;
+                if sim.gpu.used_by(MemClass::KvCache) + fp16_tok <= watermark {
+                    store.relocate(i, Location::Gpu);
+                    sim.gpu
+                        .alloc(MemClass::KvCache, fp16_tok)
+                        .expect("within watermark");
+                }
+            }
+
+            // Price the step.
+            let (mha, ffn) = sim.decode_compute(model, b, budget, efficiency::FLEXGEN);
+            let selection = sim.selection_overhead(model, b, seq_len, budget, self.history_depth);
+            let recompute_time = if recompute_tokens > 0 {
+                // K and V projection GEMMs per layer for the recomputed rows.
+                2.0 * model.num_layers as f64
+                    * sim.cost.gemm_time(
+                        recompute_tokens * b,
+                        model.hidden_dim,
+                        model.hidden_dim,
+                        FP16,
+                    )
+            } else {
+                0.0
+            };
+            let quant_time = if self.kv_compression {
+                sim.cost.quantize_time(load_bytes + store_bytes)
+            } else {
+                0.0
+            };
+
+            let phase = if phase3 && entered_phase2 {
+                3
+            } else if entered_phase2 {
+                2
+            } else {
+                1
+            };
+            sim.timeline.push(StepRecord {
+                step: j,
+                phase,
+                mha_time: mha,
+                ffn_time: ffn,
+                recompute_time,
+                load_time: sim.cost.transfer_time(load_bytes)
+                    + sim.cost.cpu_pack_time(load_bytes),
+                store_time: sim.cost.transfer_time(store_bytes),
+                quant_time,
+                selection_time: selection,
+                gpu_mem: sim.gpu.used(),
+                cpu_mem: sim.cpu.used(),
+            });
+        }
+
+        sim.completed(self.name(), model, wl)
+    }
+}
+
+fn mix_name(model: &ModelConfig, wl: &Workload) -> u64 {
+    let mut h = 0xA11_5Au64;
+    for by in model.name.bytes() {
+        h = h.wrapping_mul(0x100000001b3) ^ by as u64;
+    }
+    h ^ (wl.batch_size as u64) << 32 ^ (wl.input_len as u64) << 16 ^ wl.output_len as u64
+}
+
+/// Offline plan search (paper §V-A "Sparsity-Aware Caching"): profiles
+/// candidate `{α, β, p2}` plans by running the simulator — the same
+/// "profile compute/recompute, then greedy search" loop the authors
+/// describe, with the simulator standing in for the profiled testbed.
+#[derive(Debug, Clone, Copy)]
+pub struct PlanOptimizer {
+    /// Candidate offload watermarks.
+    pub alphas: [f64; 3],
+    /// Candidate recompute ratios.
+    pub betas: [f64; 3],
+    /// Candidate Phase III triggers.
+    pub p2s: [f64; 3],
+}
+
+impl Default for PlanOptimizer {
+    fn default() -> Self {
+        PlanOptimizer {
+            alphas: [0.7, 0.85, 0.95],
+            betas: [0.0, 0.4, 0.8],
+            p2s: [0.5, 0.75, 2.0],
+        }
+    }
+}
+
+impl PlanOptimizer {
+    /// Exhaustively profiles the candidate grid and returns the plan
+    /// with the lowest completed end-to-end time (and its report).
+    /// Falls back to [`Plan::default`] if every candidate OOMs.
+    pub fn optimize(
+        &self,
+        base: &AlisaScheduler,
+        model: &ModelConfig,
+        hw: &HardwareSpec,
+        wl: &Workload,
+    ) -> (Plan, RunReport) {
+        let mut best: Option<(Plan, RunReport)> = None;
+        for &alpha in &self.alphas {
+            for &beta in &self.betas {
+                for &p2_frac in &self.p2s {
+                    let plan = Plan {
+                        alpha,
+                        beta,
+                        p2_frac,
+                    };
+                    let candidate = base.clone().with_plan(plan);
+                    let report = candidate.run(model, hw, wl);
+                    if !report.outcome.is_completed() {
+                        continue;
+                    }
+                    let better = match &best {
+                        None => true,
+                        Some((_, b)) => report.total_time() < b.total_time(),
+                    };
+                    if better {
+                        best = Some((plan, report));
+                    }
+                }
+            }
+        }
+        best.unwrap_or_else(|| {
+            let plan = Plan::default();
+            let report = base.clone().with_plan(plan).run(model, hw, wl);
+            (plan, report)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_wl() -> Workload {
+        Workload::new(8, 64, 64)
+    }
+
+    #[test]
+    fn completes_within_memory() {
+        let r = AlisaScheduler::new(0.8, true).run(
+            &ModelConfig::opt_6_7b(),
+            &HardwareSpec::v100_32gb(),
+            &small_wl(),
+        );
+        assert!(r.outcome.is_completed(), "{}", r.summary());
+        assert!(r.throughput() > 0.0);
+        assert_eq!(r.timeline.len(), 65); // prefill + 64 decode steps
+    }
+
+    #[test]
+    fn phase1_has_no_transfers() {
+        // Small workload on a big GPU: everything stays Phase I.
+        let r = AlisaScheduler::new(0.8, false).run(
+            &ModelConfig::opt_6_7b(),
+            &HardwareSpec::h100_80gb(),
+            &small_wl(),
+        );
+        assert!(r.outcome.is_completed());
+        assert_eq!(r.timeline.total_transfer_time(), 0.0);
+        assert!(r.timeline.records().iter().all(|s| s.phase == 1));
+    }
+
+    #[test]
+    fn heavy_workload_enters_phase2_and_3() {
+        // OPT-6.7B on V100-16GB at batch 64 must offload (Figure 12's
+        // regime, scaled): weights 13.3 GiB of 16 GiB.
+        let r = AlisaScheduler::new(0.8, true).run(
+            &ModelConfig::opt_6_7b(),
+            &HardwareSpec::v100_16gb(),
+            &Workload::alpaca(32),
+        );
+        assert!(r.outcome.is_completed(), "{}", r.summary());
+        assert!(r.timeline.phase_records(2).count() > 0, "no Phase II steps");
+        assert!(r.timeline.phase_records(3).count() > 0, "no Phase III steps");
+        assert!(r.timeline.total_transfer_time() > 0.0);
+        // Phases are monotone: once in III, never back to I.
+        let phases: Vec<u8> = r.timeline.records().iter().map(|s| s.phase).collect();
+        let mut max_seen = 0;
+        for p in phases {
+            assert!(p >= max_seen || p == max_seen, "phase regressed");
+            max_seen = max_seen.max(p);
+        }
+    }
+
+    #[test]
+    fn sparsity_reduces_traffic() {
+        let hw = HardwareSpec::v100_16gb();
+        let model = ModelConfig::opt_6_7b();
+        let wl = Workload::alpaca(32);
+        let t40 = AlisaScheduler::new(0.4, false).run(&model, &hw, &wl);
+        let t80 = AlisaScheduler::new(0.8, false).run(&model, &hw, &wl);
+        assert!(t40.outcome.is_completed() && t80.outcome.is_completed());
+        assert!(
+            t80.total_time() < t40.total_time(),
+            "80% sparsity must beat 40%: {:.2}s vs {:.2}s",
+            t80.total_time(),
+            t40.total_time()
+        );
+    }
+
+    #[test]
+    fn compression_reduces_transfer_time() {
+        let hw = HardwareSpec::v100_16gb();
+        let model = ModelConfig::opt_6_7b();
+        let wl = Workload::alpaca(32);
+        let plain = AlisaScheduler::new(0.8, false).run(&model, &hw, &wl);
+        let compressed = AlisaScheduler::new(0.8, true).run(&model, &hw, &wl);
+        assert!(
+            compressed.timeline.total_transfer_time() < plain.timeline.total_transfer_time(),
+            "INT8 must halve link bytes"
+        );
+    }
+
+    #[test]
+    fn global_set_is_deterministic_and_drifts() {
+        let g = GlobalSetModel::new(7);
+        let a = g.pick(8, 100, 5, 120);
+        let b = g.pick(8, 100, 5, 120);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 8);
+        assert!(a.windows(2).all(|w| w[0] < w[1]));
+        // Across an epoch boundary the set usually changes.
+        let later = g.pick(8, 100, 5 + 64, 120);
+        assert_ne!(a, later, "drift epochs must churn the set");
+    }
+
+    #[test]
+    fn optimizer_beats_or_matches_default_plan() {
+        let model = ModelConfig::opt_6_7b();
+        let hw = HardwareSpec::v100_16gb();
+        let wl = Workload::new(32, 64, 96);
+        let base = AlisaScheduler::new(0.8, true);
+        let default_time = base.clone().run(&model, &hw, &wl).total_time();
+        let (plan, best) = PlanOptimizer::default().optimize(&base, &model, &hw, &wl);
+        assert!(best.outcome.is_completed());
+        assert!(
+            best.total_time() <= default_time + 1e-9,
+            "optimized {plan:?} ({:.3}s) worse than default ({default_time:.3}s)",
+            best.total_time()
+        );
+    }
+
+    #[test]
+    fn without_recompute_disables_phase3() {
+        let r = AlisaScheduler::new(0.8, true).without_recompute().run(
+            &ModelConfig::opt_6_7b(),
+            &HardwareSpec::v100_16gb(),
+            &Workload::alpaca(32),
+        );
+        assert!(r.outcome.is_completed());
+        assert_eq!(r.timeline.phase_records(3).count(), 0);
+        assert_eq!(r.timeline.sum_by(|s| s.recompute_time), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sparsity")]
+    fn rejects_invalid_sparsity() {
+        let _ = AlisaScheduler::new(1.0, false);
+    }
+}

@@ -1,0 +1,95 @@
+//! Workload descriptions: the `(b, s, n)` triples of the paper.
+
+use serde::{Deserialize, Serialize};
+
+/// One offline-inference workload: `batch_size` sequences, each with
+/// `input_len` prompt tokens and `output_len` generated tokens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Workload {
+    /// Batch size `b`.
+    pub batch_size: usize,
+    /// Input (prompt) length `s`.
+    pub input_len: usize,
+    /// Output (generated) length `n`.
+    pub output_len: usize,
+}
+
+impl Workload {
+    /// Creates a workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn new(batch_size: usize, input_len: usize, output_len: usize) -> Self {
+        assert!(batch_size > 0 && input_len > 0 && output_len > 0);
+        Workload {
+            batch_size,
+            input_len,
+            output_len,
+        }
+    }
+
+    /// The paper's system-evaluation workload (§VI-A): Alpaca-sampled
+    /// prompts, `s = 128`, `n = 512`, at the given batch size.
+    pub fn alpaca(batch_size: usize) -> Self {
+        Workload::new(batch_size, 128, 512)
+    }
+
+    /// Figure 1's workload 1: `b=16, s=512, n=128`.
+    pub fn fig1_workload1() -> Self {
+        Workload::new(16, 512, 128)
+    }
+
+    /// Figure 1's workload 2: `b=64, s=512, n=512`.
+    pub fn fig1_workload2() -> Self {
+        Workload::new(64, 512, 512)
+    }
+
+    /// Total generated tokens (`b · n`) — the throughput denominator.
+    pub fn generated_tokens(&self) -> usize {
+        self.batch_size * self.output_len
+    }
+
+    /// Final sequence length (`s + n`).
+    pub fn final_seq_len(&self) -> usize {
+        self.input_len + self.output_len
+    }
+}
+
+impl std::fmt::Display for Workload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "b={}, s={}, n={}",
+            self.batch_size, self.input_len, self.output_len
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let w = Workload::alpaca(32);
+        assert_eq!(w.batch_size, 32);
+        assert_eq!(w.input_len, 128);
+        assert_eq!(w.output_len, 512);
+        assert_eq!(w.generated_tokens(), 32 * 512);
+        assert_eq!(w.final_seq_len(), 640);
+        assert_eq!(w.to_string(), "b=32, s=128, n=512");
+    }
+
+    #[test]
+    fn figure1_presets() {
+        assert_eq!(Workload::fig1_workload1(), Workload::new(16, 512, 128));
+        assert_eq!(Workload::fig1_workload2(), Workload::new(64, 512, 512));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_batch_rejected() {
+        let _ = Workload::new(0, 1, 1);
+    }
+}

@@ -1,0 +1,112 @@
+//! Property-based tests of scheduler invariants: for arbitrary (bounded)
+//! workloads, every system either completes or reports OOM — and when it
+//! completes, its timeline satisfies the structural invariants the
+//! figures rely on.
+
+use alisa_memsim::HardwareSpec;
+use alisa_model::ModelConfig;
+use alisa_sched::{
+    AccelerateScheduler, AlisaScheduler, FlexGenScheduler, InferenceSystem, VllmScheduler,
+    Workload,
+};
+use proptest::prelude::*;
+
+fn small_workload() -> impl Strategy<Value = Workload> {
+    (1usize..=32, 8usize..=128, 4usize..=64)
+        .prop_map(|(b, s, n)| Workload::new(b, s, n))
+}
+
+fn systems() -> Vec<Box<dyn InferenceSystem>> {
+    vec![
+        Box::new(AlisaScheduler::new(0.8, true)),
+        Box::new(AlisaScheduler::new(0.4, false)),
+        Box::new(FlexGenScheduler::new()),
+        Box::new(VllmScheduler::new()),
+        Box::new(AccelerateScheduler),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Completed runs have positive total time, one record per step (or
+    /// more, for wave-batched vLLM), and peak GPU memory within the
+    /// device capacity.
+    #[test]
+    fn completed_runs_are_well_formed(wl in small_workload()) {
+        let model = ModelConfig::opt_6_7b();
+        let hw = HardwareSpec::v100_16gb();
+        for sys in systems() {
+            let r = sys.run(&model, &hw, &wl);
+            if !r.outcome.is_completed() {
+                continue; // OOM is a legitimate outcome
+            }
+            prop_assert!(r.total_time() > 0.0, "{}: zero time", sys.name());
+            prop_assert!(r.throughput() > 0.0, "{}", sys.name());
+            prop_assert!(
+                r.timeline.len() >= wl.output_len + 1,
+                "{}: {} records for {} steps",
+                sys.name(),
+                r.timeline.len(),
+                wl.output_len
+            );
+            prop_assert!(
+                r.timeline.peak_gpu_mem() <= hw.gpu.memory_bytes,
+                "{}: peak GPU above capacity",
+                sys.name()
+            );
+            // Times are finite and non-negative everywhere.
+            for rec in r.timeline.records() {
+                prop_assert!(rec.total_time().is_finite());
+                prop_assert!(rec.total_time() >= 0.0);
+            }
+        }
+    }
+
+    /// ALISA's phase sequence never regresses (I → II → III).
+    #[test]
+    fn alisa_phases_are_monotone(wl in small_workload(), sparsity in 0.2f64..0.9) {
+        let r = AlisaScheduler::new(sparsity, true).run(
+            &ModelConfig::opt_6_7b(),
+            &HardwareSpec::v100_16gb(),
+            &wl,
+        );
+        if r.outcome.is_completed() {
+            let mut max_phase = 0u8;
+            for rec in r.timeline.records() {
+                prop_assert!(rec.phase >= max_phase, "phase regressed at step {}", rec.step);
+                max_phase = max_phase.max(rec.phase);
+            }
+        }
+    }
+
+    /// Higher sparsity never makes ALISA slower on memory-pressured
+    /// workloads (more tokens skipped = less traffic and compute).
+    #[test]
+    fn sparsity_is_monotone_speedup(b in 16usize..=48) {
+        let model = ModelConfig::opt_6_7b();
+        let hw = HardwareSpec::v100_16gb();
+        let wl = Workload::new(b, 128, 64);
+        let lo = AlisaScheduler::new(0.4, true).run(&model, &hw, &wl);
+        let hi = AlisaScheduler::new(0.8, true).run(&model, &hw, &wl);
+        if lo.outcome.is_completed() && hi.outcome.is_completed() {
+            prop_assert!(
+                hi.total_time() <= lo.total_time() * 1.05,
+                "80% sparsity ({:.2}s) slower than 40% ({:.2}s)",
+                hi.total_time(),
+                lo.total_time()
+            );
+        }
+    }
+
+    /// Throughput is invariant to re-running (pure simulation).
+    #[test]
+    fn simulation_is_pure(wl in small_workload()) {
+        let s = AlisaScheduler::new(0.8, true);
+        let model = ModelConfig::llama_7b();
+        let hw = HardwareSpec::v100_16gb();
+        let a = s.run(&model, &hw, &wl);
+        let b = s.run(&model, &hw, &wl);
+        prop_assert_eq!(a.timeline, b.timeline);
+    }
+}

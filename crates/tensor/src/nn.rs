@@ -1,0 +1,228 @@
+//! Neural-network primitives: softmax, layer normalization, activations.
+//!
+//! The paper folds the Add + LayerNorm operations into the MHA and FFN
+//! blocks (§II-A); this module provides those pieces for the functional
+//! transformer in `alisa-model`.
+
+use crate::Matrix;
+
+/// Row-wise numerically-stable softmax: `σ(x)ᵢ = exp(xᵢ - max) / Σ exp`.
+///
+/// This is the `σ(·)` of Eq. 1. Rows of `-∞` (fully masked) produce a
+/// uniform row rather than NaNs, which never occurs in practice because
+/// autoregressive attention always attends to at least the current token.
+///
+/// # Example
+///
+/// ```
+/// use alisa_tensor::{Matrix, nn::softmax_rows};
+///
+/// let probs = softmax_rows(&Matrix::from_rows(&[vec![0.0, 0.0]]));
+/// assert!((probs.get(0, 0) - 0.5).abs() < 1e-6);
+/// ```
+pub fn softmax_rows(logits: &Matrix) -> Matrix {
+    let mut out = logits.clone();
+    for r in 0..out.rows() {
+        softmax_inplace(out.row_mut(r));
+    }
+    out
+}
+
+/// In-place numerically-stable softmax over a single slice.
+pub fn softmax_inplace(row: &mut [f32]) {
+    if row.is_empty() {
+        return;
+    }
+    let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    if !max.is_finite() {
+        // Fully-masked row: fall back to uniform to stay NaN-free.
+        let u = 1.0 / row.len() as f32;
+        row.fill(u);
+        return;
+    }
+    let mut sum = 0.0;
+    for v in row.iter_mut() {
+        *v = (*v - max).exp();
+        sum += *v;
+    }
+    for v in row.iter_mut() {
+        *v /= sum;
+    }
+}
+
+/// Softmax of a slice, returning a fresh vector.
+pub fn softmax(row: &[f32]) -> Vec<f32> {
+    let mut out = row.to_vec();
+    softmax_inplace(&mut out);
+    out
+}
+
+/// Row-wise layer normalization with learned `gain` and `bias`.
+///
+/// `y = (x - mean) / sqrt(var + eps) * gain + bias`, computed per row.
+///
+/// # Panics
+///
+/// Panics if `gain.len()` or `bias.len()` differ from `x.cols()`.
+pub fn layernorm_rows(x: &Matrix, gain: &[f32], bias: &[f32], eps: f32) -> Matrix {
+    assert_eq!(gain.len(), x.cols(), "layernorm gain length");
+    assert_eq!(bias.len(), x.cols(), "layernorm bias length");
+    let mut out = x.clone();
+    for r in 0..out.rows() {
+        let row = out.row_mut(r);
+        let n = row.len() as f32;
+        let mean = row.iter().sum::<f32>() / n;
+        let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n;
+        let denom = (var + eps).sqrt();
+        for (i, v) in row.iter_mut().enumerate() {
+            *v = (*v - mean) / denom * gain[i] + bias[i];
+        }
+    }
+    out
+}
+
+/// GELU activation (tanh approximation), applied element-wise in place.
+///
+/// OPT uses ReLU and LLaMA uses SiLU; GELU sits between and is the
+/// conventional default for decoder FFNs. The choice does not affect any
+/// ALISA mechanism (token selection operates on attention weights only).
+pub fn gelu_inplace(m: &mut Matrix) {
+    for v in m.as_mut_slice() {
+        let x = *v;
+        *v = 0.5 * x * (1.0 + ((0.797_884_6) * (x + 0.044_715 * x * x * x)).tanh());
+    }
+}
+
+/// ReLU activation, element-wise in place (used by the OPT-style FFN).
+pub fn relu_inplace(m: &mut Matrix) {
+    for v in m.as_mut_slice() {
+        *v = v.max(0.0);
+    }
+}
+
+/// Cross-entropy `-Σ t log p` between a target one-hot index and a
+/// probability row; clamps `p` away from zero to stay finite.
+///
+/// # Panics
+///
+/// Panics if `target >= probs.len()`.
+pub fn cross_entropy(probs: &[f32], target: usize) -> f32 {
+    assert!(target < probs.len(), "target index out of range");
+    -(probs[target].max(1e-12).ln())
+}
+
+/// KL divergence `Σ p log(p/q)` between two probability slices.
+///
+/// Used to quantify how far a sparse-attention output distribution has
+/// drifted from dense attention (the Figure 4 analysis).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn kl_divergence(p: &[f32], q: &[f32]) -> f32 {
+    assert_eq!(p.len(), q.len(), "kl_divergence length mismatch");
+    p.iter()
+        .zip(q)
+        .map(|(&pi, &qi)| {
+            if pi <= 0.0 {
+                0.0
+            } else {
+                pi * (pi.max(1e-12) / qi.max(1e-12)).ln()
+            }
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![-5.0, 0.0, 5.0]]);
+        let s = softmax_rows(&m);
+        for r in 0..2 {
+            let total: f32 = s.row(r).iter().sum();
+            assert!((total - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let a = softmax(&[1.0, 2.0, 3.0]);
+        let b = softmax(&[1001.0, 1002.0, 1003.0]);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn softmax_handles_extreme_values() {
+        let s = softmax(&[1e30, -1e30]);
+        assert!((s[0] - 1.0).abs() < 1e-6);
+        assert!(s.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn softmax_fully_masked_row_is_uniform() {
+        let s = softmax(&[f32::NEG_INFINITY, f32::NEG_INFINITY]);
+        assert_eq!(s, vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn softmax_empty_row_is_noop() {
+        let mut empty: [f32; 0] = [];
+        softmax_inplace(&mut empty);
+    }
+
+    #[test]
+    fn layernorm_zero_mean_unit_var() {
+        let x = Matrix::from_rows(&[vec![1.0, 2.0, 3.0, 4.0]]);
+        let gain = vec![1.0; 4];
+        let bias = vec![0.0; 4];
+        let y = layernorm_rows(&x, &gain, &bias, 1e-5);
+        let mean: f32 = y.row(0).iter().sum::<f32>() / 4.0;
+        let var: f32 = y.row(0).iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 4.0;
+        assert!(mean.abs() < 1e-5);
+        assert!((var - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn layernorm_applies_gain_and_bias() {
+        let x = Matrix::from_rows(&[vec![1.0, -1.0]]);
+        let y = layernorm_rows(&x, &[2.0, 2.0], &[1.0, 1.0], 1e-5);
+        // Normalized row is [1, -1]; with gain 2 bias 1 → [3, -1].
+        assert!((y.get(0, 0) - 3.0).abs() < 1e-2);
+        assert!((y.get(0, 1) + 1.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn gelu_monotone_on_positives_and_zero_at_zero() {
+        let mut m = Matrix::from_rows(&[vec![0.0, 1.0, 2.0]]);
+        gelu_inplace(&mut m);
+        assert_eq!(m.get(0, 0), 0.0);
+        assert!(m.get(0, 2) > m.get(0, 1));
+        assert!(m.get(0, 1) > 0.8 && m.get(0, 1) < 0.9); // gelu(1) ≈ 0.841
+    }
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let mut m = Matrix::from_rows(&[vec![-1.0, 2.0]]);
+        relu_inplace(&mut m);
+        assert_eq!(m.row(0), &[0.0, 2.0]);
+    }
+
+    #[test]
+    fn cross_entropy_of_confident_prediction_is_small() {
+        assert!(cross_entropy(&[0.99, 0.01], 0) < 0.02);
+        assert!(cross_entropy(&[0.01, 0.99], 0) > 4.0);
+    }
+
+    #[test]
+    fn kl_divergence_zero_for_identical() {
+        let p = softmax(&[1.0, 2.0, 3.0]);
+        assert!(kl_divergence(&p, &p).abs() < 1e-6);
+        let q = softmax(&[3.0, 2.0, 1.0]);
+        assert!(kl_divergence(&p, &q) > 0.0);
+    }
+}

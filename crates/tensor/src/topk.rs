@@ -1,0 +1,122 @@
+//! Index-selection helpers: arg-max, top-k, arg-sort.
+//!
+//! Algorithm 1 line 4 (`I_g = argmaxₖ S`) selects the `k` globally dynamic
+//! tokens with the largest local attention sums. Ties are broken toward
+//! the **more recent** token (larger index), matching the recency prior
+//! the rest of the algorithm encodes; the choice is deterministic so every
+//! experiment is reproducible.
+
+/// Index of the maximum element, ties broken toward the larger index.
+/// Returns `None` for an empty slice.
+pub fn argmax(xs: &[f32]) -> Option<usize> {
+    let mut best: Option<(usize, f32)> = None;
+    for (i, &v) in xs.iter().enumerate() {
+        match best {
+            Some((_, bv)) if v < bv => {}
+            _ => best = Some((i, v)),
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+/// Indices of the `k` largest elements, **sorted ascending by index**.
+///
+/// Ascending index order keeps gathered KV tensors in temporal order,
+/// which downstream code relies on when re-masking. If `k >= xs.len()`,
+/// all indices are returned.
+pub fn top_k_indices(xs: &[f32], k: usize) -> Vec<usize> {
+    let k = k.min(xs.len());
+    if k == 0 {
+        return Vec::new();
+    }
+    let mut idx: Vec<usize> = (0..xs.len()).collect();
+    // Sort by value descending; ties toward larger (more recent) index.
+    idx.sort_by(|&a, &b| {
+        xs[b].partial_cmp(&xs[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(b.cmp(&a))
+    });
+    let mut out: Vec<usize> = idx.into_iter().take(k).collect();
+    out.sort_unstable();
+    out
+}
+
+/// Like [`top_k_indices`] but restricted to a candidate subset.
+///
+/// SWA only draws global tokens from positions *outside* the local
+/// window; passing those candidates here keeps the selection logic in one
+/// place.
+pub fn top_k_indices_within(xs: &[f32], candidates: &[usize], k: usize) -> Vec<usize> {
+    let k = k.min(candidates.len());
+    if k == 0 {
+        return Vec::new();
+    }
+    let mut cand: Vec<usize> = candidates.to_vec();
+    cand.sort_by(|&a, &b| {
+        xs[b].partial_cmp(&xs[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(b.cmp(&a))
+    });
+    let mut out: Vec<usize> = cand.into_iter().take(k).collect();
+    out.sort_unstable();
+    out
+}
+
+/// Indices that would sort `xs` descending (stable under ties, larger
+/// index first to prefer recency).
+pub fn argsort_desc(xs: &[f32]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..xs.len()).collect();
+    idx.sort_by(|&a, &b| {
+        xs[b].partial_cmp(&xs[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(b.cmp(&a))
+    });
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn argmax_basic_and_empty() {
+        assert_eq!(argmax(&[1.0, 3.0, 2.0]), Some(1));
+        assert_eq!(argmax(&[]), None);
+    }
+
+    #[test]
+    fn argmax_tie_prefers_recent() {
+        assert_eq!(argmax(&[5.0, 5.0, 1.0]), Some(1));
+    }
+
+    #[test]
+    fn top_k_returns_sorted_indices_of_largest() {
+        let xs = [0.1, 0.9, 0.3, 0.7];
+        assert_eq!(top_k_indices(&xs, 2), vec![1, 3]);
+    }
+
+    #[test]
+    fn top_k_handles_oversized_k() {
+        assert_eq!(top_k_indices(&[1.0, 2.0], 10), vec![0, 1]);
+        assert!(top_k_indices(&[1.0, 2.0], 0).is_empty());
+    }
+
+    #[test]
+    fn top_k_tie_prefers_recent_token() {
+        // Two equal values — the later position should win the single slot.
+        assert_eq!(top_k_indices(&[4.0, 4.0, 0.0], 1), vec![1]);
+    }
+
+    #[test]
+    fn top_k_within_restricts_candidates() {
+        let xs = [10.0, 1.0, 5.0, 3.0];
+        // Even though index 0 is globally max, it is not a candidate.
+        assert_eq!(top_k_indices_within(&xs, &[1, 2, 3], 2), vec![2, 3]);
+    }
+
+    #[test]
+    fn argsort_desc_orders_values() {
+        let xs = [0.2, 0.8, 0.5];
+        assert_eq!(argsort_desc(&xs), vec![1, 2, 0]);
+    }
+}

@@ -1,0 +1,161 @@
+//! Property-based tests for the tensor substrate's core invariants.
+
+use alisa_tensor::nn::{softmax, softmax_inplace};
+use alisa_tensor::ops::{col_sums, col_sums_range, matmul, matmul_bt};
+use alisa_tensor::quant::{dequantize, quantize, QuantBits};
+use alisa_tensor::stats::spearman;
+use alisa_tensor::topk::{argsort_desc, top_k_indices};
+use alisa_tensor::Matrix;
+use proptest::prelude::*;
+
+fn finite_f32() -> impl Strategy<Value = f32> {
+    (-1.0e3f32..1.0e3f32).prop_filter("finite", |v| v.is_finite())
+}
+
+fn matrix(max_dim: usize) -> impl Strategy<Value = Matrix> {
+    (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(finite_f32(), r * c)
+            .prop_map(move |data| Matrix::from_vec(r, c, data).unwrap())
+    })
+}
+
+proptest! {
+    /// Softmax rows always sum to 1 and contain only finite values in [0, 1].
+    #[test]
+    fn softmax_is_probability_distribution(row in proptest::collection::vec(finite_f32(), 1..64)) {
+        let mut s = row.clone();
+        softmax_inplace(&mut s);
+        let total: f32 = s.iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-4);
+        for &v in &s {
+            prop_assert!(v.is_finite());
+            prop_assert!((0.0..=1.0 + 1e-6).contains(&v));
+        }
+    }
+
+    /// Softmax preserves the ordering of the inputs.
+    #[test]
+    fn softmax_is_monotone(row in proptest::collection::vec(finite_f32(), 2..32)) {
+        let s = softmax(&row);
+        for i in 0..row.len() {
+            for j in 0..row.len() {
+                if row[i] > row[j] {
+                    prop_assert!(s[i] >= s[j] - 1e-6);
+                }
+            }
+        }
+    }
+
+    /// Quantize→dequantize error is bounded by one quantization step per channel.
+    #[test]
+    fn quant_roundtrip_error_bounded(m in matrix(12)) {
+        let q = quantize(&m, QuantBits::Int8).unwrap();
+        let d = dequantize(&q);
+        for c in 0..m.cols() {
+            let step = q.params()[c].scale;
+            for r in 0..m.rows() {
+                let err = (m.get(r, c) - d.get(r, c)).abs();
+                // One full step of slack: half-step rounding plus
+                // zero-point rounding. Constant channels decode to 0.
+                if step > 0.0 {
+                    prop_assert!(err <= step + 1e-3, "err {} > step {}", err, step);
+                }
+            }
+        }
+    }
+
+    /// INT4 accounting is never larger than INT8 accounting.
+    #[test]
+    fn int4_stores_fewer_bytes(m in matrix(8)) {
+        let q8 = quantize(&m, QuantBits::Int8).unwrap();
+        let q4 = quantize(&m, QuantBits::Int4).unwrap();
+        prop_assert!(q4.stored_bytes() <= q8.stored_bytes());
+    }
+
+    /// top_k returns exactly k distinct, in-range, ascending indices.
+    #[test]
+    fn top_k_indices_are_valid(xs in proptest::collection::vec(finite_f32(), 1..64), k in 0usize..64) {
+        let idx = top_k_indices(&xs, k);
+        prop_assert_eq!(idx.len(), k.min(xs.len()));
+        for w in idx.windows(2) {
+            prop_assert!(w[0] < w[1], "indices must be strictly ascending");
+        }
+        for &i in &idx {
+            prop_assert!(i < xs.len());
+        }
+        // Every selected value is >= every unselected value.
+        if !idx.is_empty() {
+            let selected_min = idx.iter().map(|&i| xs[i]).fold(f32::INFINITY, f32::min);
+            for (i, &v) in xs.iter().enumerate() {
+                if !idx.contains(&i) {
+                    prop_assert!(v <= selected_min + 1e-6);
+                }
+            }
+        }
+    }
+
+    /// argsort_desc is a permutation that orders values descending.
+    #[test]
+    fn argsort_desc_is_permutation(xs in proptest::collection::vec(finite_f32(), 1..64)) {
+        let order = argsort_desc(&xs);
+        let mut seen = vec![false; xs.len()];
+        for &i in &order {
+            prop_assert!(!seen[i]);
+            seen[i] = true;
+        }
+        for w in order.windows(2) {
+            prop_assert!(xs[w[0]] >= xs[w[1]]);
+        }
+    }
+
+    /// matmul_bt(a, b) == matmul(a, bᵀ).
+    #[test]
+    fn matmul_bt_matches_transpose(
+        a in matrix(6),
+        rows_b in 1usize..6,
+    ) {
+        let b = Matrix::from_vec(
+            rows_b,
+            a.cols(),
+            (0..rows_b * a.cols()).map(|i| (i as f32 * 0.37).sin()).collect(),
+        ).unwrap();
+        let lhs = matmul_bt(&a, &b).unwrap();
+        let rhs = matmul(&a, &b.transpose()).unwrap();
+        prop_assert_eq!(lhs.shape(), rhs.shape());
+        for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    /// Column sums over the full range match col_sums.
+    #[test]
+    fn col_sums_range_full_equals_col_sums(m in matrix(8)) {
+        let full = col_sums_range(&m, 0, m.rows());
+        let direct = col_sums(&m);
+        for (x, y) in full.iter().zip(&direct) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    /// Spearman is symmetric and bounded in [-1, 1].
+    #[test]
+    fn spearman_symmetric_bounded(
+        a in proptest::collection::vec(finite_f32(), 3..32),
+    ) {
+        let b: Vec<f32> = a.iter().map(|x| x * 0.5 + 1.0).collect();
+        let r1 = spearman(&a, &b);
+        let r2 = spearman(&b, &a);
+        prop_assert!((r1 - r2).abs() < 1e-5);
+        prop_assert!((-1.0 - 1e-5..=1.0 + 1e-5).contains(&r1));
+    }
+
+    /// gather_rows returns rows identical to the source.
+    #[test]
+    fn gather_rows_copies_exact_rows(m in matrix(10)) {
+        let indices: Vec<usize> = (0..m.rows()).rev().collect();
+        let g = m.gather_rows(&indices).unwrap();
+        for (dst, &src) in indices.iter().enumerate() {
+            prop_assert_eq!(g.row(dst), m.row(src));
+        }
+    }
+}

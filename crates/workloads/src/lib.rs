@@ -1,0 +1,24 @@
+//! Synthetic workloads and the evaluation harness (paper §VI-A).
+//!
+//! The paper evaluates on seven datasets through `lm-eval-harness`:
+//! language modeling on WikiText-2 / Penn Treebank / Alpaca, and 4-shot
+//! question answering on PIQA / COPA / OpenBookQA / Winogrande. Real
+//! datasets and trained checkpoints are unavailable offline, so this
+//! crate generates corpora with the *statistical structure* those
+//! evaluations stress (`DESIGN.md` §2.1) and mirrors the harness's
+//! metrics:
+//!
+//! * [`corpus`] — Zipf-distributed token streams with per-sequence topic
+//!   anchors that recur over long ranges (the heavy-hitter structure),
+//! * [`qa`] — few-shot retrieval episodes over the hand-constructed
+//!   associative model (fact → query → value),
+//! * [`eval`] — perplexity and multiple-choice accuracy sweeps across
+//!   policies and KV-sparsity levels: the Figure 8 harness.
+
+pub mod corpus;
+pub mod eval;
+pub mod qa;
+
+pub use corpus::{CorpusSpec, Dataset};
+pub use eval::{evaluate_lm, evaluate_qa, LmResult, QaResult};
+pub use qa::{QaEpisode, QaSpec, QaTask};

@@ -1,0 +1,266 @@
+//! Few-shot retrieval QA episodes (the paper's 4-shot QA tasks).
+//!
+//! An episode mirrors the paper's 4-shot prompt format: a context with
+//! several facts, `shots` worked question→answer examples, then the test
+//! question. Answering the test question requires the KV entry of a
+//! fact stated early in the prompt — the long-range dependency that
+//! separates SWA from local/strided attention in Figure 8.
+
+use alisa_model::assoc::AssocModel;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// The QA task presets named after the paper's datasets. They differ in
+/// choice count and prompt geometry, like the originals differ in
+/// format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum QaTask {
+    /// PIQA-like: 2 choices, medium context.
+    Piqa,
+    /// COPA-like: 2 choices, short context.
+    Copa,
+    /// OpenBookQA-like: 4 choices, long context ("open book" = many
+    /// facts in the prompt).
+    OpenBookQa,
+    /// Winogrande-like: 2 choices, dense distractors.
+    Winogrande,
+}
+
+impl QaTask {
+    /// All QA datasets in Figure 8's order.
+    pub const ALL: [QaTask; 4] = [
+        QaTask::Piqa,
+        QaTask::Copa,
+        QaTask::OpenBookQa,
+        QaTask::Winogrande,
+    ];
+
+    /// The generator parameters for this task.
+    pub fn spec(self) -> QaSpec {
+        match self {
+            QaTask::Piqa => QaSpec {
+                n_facts: 6,
+                filler_run: 25,
+                n_choices: 2,
+                shots: 4,
+                seed: 0x0819,
+            },
+            QaTask::Copa => QaSpec {
+                n_facts: 4,
+                filler_run: 30,
+                n_choices: 2,
+                shots: 4,
+                seed: 0xC09A,
+            },
+            QaTask::OpenBookQa => QaSpec {
+                n_facts: 10,
+                filler_run: 20,
+                n_choices: 4,
+                shots: 4,
+                seed: 0x0B0A,
+            },
+            QaTask::Winogrande => QaSpec {
+                n_facts: 8,
+                filler_run: 18,
+                n_choices: 2,
+                shots: 4,
+                seed: 0x3169,
+            },
+        }
+    }
+
+    /// Display name matching the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            QaTask::Piqa => "PIQA",
+            QaTask::Copa => "COPA",
+            QaTask::OpenBookQa => "OpenBookQA",
+            QaTask::Winogrande => "Winogrande",
+        }
+    }
+}
+
+impl std::fmt::Display for QaTask {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+/// Episode-generator parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QaSpec {
+    /// Facts planted in the context (1 relevant + distractors).
+    pub n_facts: usize,
+    /// Filler tokens between consecutive facts.
+    pub filler_run: usize,
+    /// Answer choices per question (1 correct + distractor values).
+    pub n_choices: usize,
+    /// Worked examples before the test question (the paper uses 4).
+    pub shots: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+/// One generated episode: a prompt, candidate continuations, and the
+/// index of the correct one.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QaEpisode {
+    /// The full few-shot prompt (token ids).
+    pub prompt: Vec<usize>,
+    /// Candidate answer continuations (each one token here: the value
+    /// symbol), scored by likelihood as in `lm-eval`.
+    pub choices: Vec<Vec<usize>>,
+    /// Index into `choices` of the ground-truth answer.
+    pub correct: usize,
+}
+
+impl QaSpec {
+    /// Generates episode `idx` for the given associative model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model has fewer keys than `n_facts` or fewer values
+    /// than `n_choices`.
+    pub fn episode(&self, model: &AssocModel, idx: usize) -> QaEpisode {
+        let v = model.vocab().clone();
+        assert!(self.n_facts <= v.n_keys, "not enough keys for facts");
+        assert!(self.n_choices <= v.n_vals, "not enough values for choices");
+        let mut rng = StdRng::seed_from_u64(self.seed ^ (idx as u64).wrapping_mul(0x51_7C_C1));
+
+        // Choose the facts present in this episode's context.
+        let mut keys: Vec<usize> = (0..v.n_keys).collect();
+        keys.shuffle(&mut rng);
+        let facts: Vec<usize> = keys[..self.n_facts].to_vec();
+
+        let mut prompt = Vec::new();
+        let mut filler_cursor = idx * 131;
+        // Context: facts separated by filler.
+        for &k in &facts {
+            prompt.push(v.fact(k));
+            for _ in 0..self.filler_run {
+                prompt.push(v.filler(filler_cursor));
+                filler_cursor += 1;
+            }
+        }
+        // Worked examples: query + correct answer (teacher-forced shots).
+        let shot_keys: Vec<usize> = facts
+            .iter()
+            .copied()
+            .cycle()
+            .take(self.shots)
+            .collect();
+        for &k in &shot_keys {
+            prompt.push(v.query(k));
+            prompt.push(v.value(model.answer(k)));
+        }
+        // Test question: the *first* fact — maximally distant from the
+        // question, so eviction policies are stressed hardest.
+        let test_key = facts[0];
+        prompt.push(v.query(test_key));
+
+        // Choices: the correct value + distinct distractor values.
+        let correct_val = model.answer(test_key);
+        let mut vals: Vec<usize> = (0..v.n_vals).filter(|&x| x != correct_val).collect();
+        vals.shuffle(&mut rng);
+        let mut choice_vals: Vec<usize> = vals[..self.n_choices - 1].to_vec();
+        let correct_pos = rng.gen_range(0..self.n_choices);
+        choice_vals.insert(correct_pos, correct_val);
+
+        QaEpisode {
+            prompt,
+            choices: choice_vals.iter().map(|&x| vec![v.value(x)]).collect(),
+            correct: correct_pos,
+        }
+    }
+
+    /// Generates `count` episodes.
+    pub fn episodes(&self, model: &AssocModel, count: usize) -> Vec<QaEpisode> {
+        (0..count).map(|i| self.episode(model, i)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alisa_model::assoc::AssocSpec;
+
+    fn model() -> AssocModel {
+        AssocModel::build(&AssocSpec::default())
+    }
+
+    #[test]
+    fn episode_structure_is_valid() {
+        let m = model();
+        let ep = QaTask::OpenBookQa.spec().episode(&m, 0);
+        assert_eq!(ep.choices.len(), 4);
+        assert!(ep.correct < 4);
+        // All prompt tokens in vocabulary.
+        let vs = m.vocab().vocab_size;
+        assert!(ep.prompt.iter().all(|&t| t < vs));
+        // Prompt ends with a query token.
+        let last = *ep.prompt.last().unwrap();
+        let v = m.vocab();
+        assert!((v.n_keys..2 * v.n_keys).contains(&last), "must end in a query");
+    }
+
+    #[test]
+    fn correct_choice_matches_binding() {
+        let m = model();
+        let v = m.vocab().clone();
+        for i in 0..10 {
+            let ep = QaTask::Piqa.spec().episode(&m, i);
+            let query_tok = *ep.prompt.last().unwrap();
+            let key = query_tok - v.n_keys;
+            assert_eq!(ep.choices[ep.correct], vec![v.value(m.answer(key))]);
+        }
+    }
+
+    #[test]
+    fn episodes_are_deterministic_and_varied() {
+        let m = model();
+        let spec = QaTask::Copa.spec();
+        assert_eq!(spec.episode(&m, 3), spec.episode(&m, 3));
+        assert_ne!(spec.episode(&m, 3).prompt, spec.episode(&m, 4).prompt);
+    }
+
+    #[test]
+    fn correct_position_varies() {
+        let m = model();
+        let spec = QaTask::OpenBookQa.spec();
+        let positions: std::collections::HashSet<usize> =
+            (0..16).map(|i| spec.episode(&m, i).correct).collect();
+        assert!(positions.len() > 1, "answer position must not be constant");
+    }
+
+    #[test]
+    fn shots_reference_context_facts() {
+        let m = model();
+        let v = m.vocab().clone();
+        let ep = QaTask::Winogrande.spec().episode(&m, 0);
+        // Every query token in the prompt must correspond to a fact that
+        // appears earlier in the prompt.
+        let fact_set: Vec<usize> = ep
+            .prompt
+            .iter()
+            .copied()
+            .filter(|&t| t < v.n_keys)
+            .collect();
+        for (i, &t) in ep.prompt.iter().enumerate() {
+            if (v.n_keys..2 * v.n_keys).contains(&t) {
+                let key = t - v.n_keys;
+                assert!(
+                    fact_set.contains(&v.fact(key)),
+                    "query at {i} asks about a fact missing from context"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn task_labels() {
+        assert_eq!(QaTask::Piqa.to_string(), "PIQA");
+        assert_eq!(QaTask::ALL.len(), 4);
+    }
+}

@@ -1,0 +1,63 @@
+//! Long-context retrieval under KV sparsity: the "What is the capital of
+//! France?" experiment of the paper's §III-B, run for real.
+//!
+//! A fact is planted early in a long prompt; the question arrives at the
+//! end. Dense attention and SWA answer correctly because the fact's KV
+//! entry survives (it is a heavy hitter); a recency window evicts it and
+//! fails.
+//!
+//! ```sh
+//! cargo run --release --example long_context_retrieval
+//! ```
+
+use alisa_attention::policy::PolicyKind;
+use alisa_model::assoc::{AssocModel, AssocSpec};
+use alisa_model::engine::{prefill, GenerationConfig};
+
+fn main() {
+    let model = AssocModel::build(&AssocSpec::default());
+    let v = model.vocab().clone();
+
+    // Prompt: [fact: key 3 -> value] + 60 filler tokens + [query: key 3].
+    let key = 3usize;
+    let mut prompt = vec![v.fact(key)];
+    for t in 0..60 {
+        prompt.push(v.filler(t));
+    }
+    prompt.push(v.query(key));
+    let correct = v.value(model.answer(key));
+
+    println!("prompt: fact(key {key}) + 60 filler + query(key {key})");
+    println!("ground-truth answer: value token {correct}\n");
+    println!(
+        "{:<10} {:>10} {:>14} {:>10}",
+        "policy", "sparsity", "prediction", "correct?"
+    );
+
+    for sparsity in [0.0f32, 0.5, 0.8] {
+        for kind in [PolicyKind::Dense, PolicyKind::Swa, PolicyKind::H2o, PolicyKind::Local] {
+            if kind == PolicyKind::Dense && sparsity > 0.0 {
+                continue;
+            }
+            let cfg = GenerationConfig::default().with_policy(kind, sparsity);
+            let (_state, logits) = prefill(model.model(), &prompt, &cfg);
+            // Best value token = the model's answer.
+            let best = (0..v.n_vals)
+                .map(|j| v.value(j))
+                .max_by(|&a, &b| logits[a].partial_cmp(&logits[b]).unwrap())
+                .unwrap();
+            println!(
+                "{:<10} {:>9.0}% {:>14} {:>10}",
+                kind.label(),
+                sparsity * 100.0,
+                best,
+                if best == correct { "yes" } else { "NO" }
+            );
+        }
+    }
+
+    println!(
+        "\nthe fact token is an attention heavy hitter: SWA's globally-dynamic half\n\
+         retains it at any distance, while a sliding window forgets it."
+    );
+}

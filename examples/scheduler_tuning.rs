@@ -1,0 +1,58 @@
+//! Offline plan tuning: how ALISA's Eq. 3–6 optimizer picks `{α, β, p2}`
+//! per workload, and what each knob buys.
+//!
+//! ```sh
+//! cargo run --release --example scheduler_tuning
+//! ```
+
+use alisa_memsim::HardwareSpec;
+use alisa_model::ModelConfig;
+use alisa_sched::{AlisaScheduler, InferenceSystem, Plan, PlanOptimizer, Workload};
+
+fn main() {
+    let model = ModelConfig::opt_13b();
+    let hw = HardwareSpec::for_model_params(model.params());
+    println!("model: {model}\nhardware: {hw}\n");
+
+    println!(
+        "{:<24} {:>8} {:>8} {:>8} {:>12} {:>12}",
+        "workload", "alpha", "beta", "p2_frac", "time (s)", "tok/s"
+    );
+    for wl in [
+        Workload::new(8, 128, 256),
+        Workload::new(32, 128, 512),
+        Workload::new(64, 128, 512),
+    ] {
+        let base = AlisaScheduler::new(0.8, true);
+        let (plan, report) = PlanOptimizer::default().optimize(&base, &model, &hw, &wl);
+        println!(
+            "{:<24} {:>8.2} {:>8.2} {:>8.2} {:>12.1} {:>12.1}",
+            wl.to_string(),
+            plan.alpha,
+            plan.beta,
+            plan.p2_frac,
+            report.total_time(),
+            report.throughput()
+        );
+    }
+
+    // What the knobs do, one at a time, on the heaviest workload.
+    let wl = Workload::new(64, 128, 512);
+    println!("\nknob sweep on {wl}:");
+    println!("{:<40} {:>12}", "plan", "time (s)");
+    for (label, plan) in [
+        ("eager offload (a=0.5), no recompute", Plan { alpha: 0.5, beta: 0.0, p2_frac: 2.0 }),
+        ("lazy offload (a=0.95), no recompute", Plan { alpha: 0.95, beta: 0.0, p2_frac: 2.0 }),
+        ("lazy + recompute half (b=0.5, p2=0.75)", Plan { alpha: 0.95, beta: 0.5, p2_frac: 0.75 }),
+        ("lazy + aggressive recompute (b=0.8)", Plan { alpha: 0.95, beta: 0.8, p2_frac: 0.5 }),
+    ] {
+        let r = AlisaScheduler::new(0.8, true).with_plan(plan).run(&model, &hw, &wl);
+        let t = if r.outcome.is_completed() {
+            format!("{:.1}", r.total_time())
+        } else {
+            "OOM".to_string()
+        };
+        println!("{label:<40} {t:>12}");
+    }
+    println!("\nphase boundaries and per-phase costs appear in `fig12_inference_breakdown`.");
+}

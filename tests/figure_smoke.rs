@@ -1,0 +1,78 @@
+//! Smoke tests: every figure binary must run to completion in `--quick`
+//! mode. This keeps the full experiment harness from rotting.
+
+use std::process::Command;
+
+fn run_quick(bin: &str) {
+    let out = Command::new(env!("CARGO"))
+        .args([
+            "run",
+            "--quiet",
+            "--release",
+            "-p",
+            "alisa-bench",
+            "--bin",
+            bin,
+            "--",
+            "--quick",
+        ])
+        .output()
+        .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+    assert!(
+        out.status.success(),
+        "{bin} failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("===") || stdout.contains("paper"),
+        "{bin} produced no output"
+    );
+}
+
+// Fast binaries run in one combined test to amortize the cargo lock;
+// the heavy sweeps get their own (still quick-mode) tests so a failure
+// names the culprit.
+
+#[test]
+fn fast_figures_run() {
+    for bin in [
+        "fig01_motivation",
+        "fig02_kv_caching",
+        "fig05_weight_maps",
+        "fig11_attention_breakdown",
+        "table01_comparison",
+    ] {
+        run_quick(bin);
+    }
+}
+
+#[test]
+fn fig03_sparsity_runs() {
+    run_quick("fig03_sparsity");
+}
+
+#[test]
+fn fig04_attention_patterns_runs() {
+    run_quick("fig04_attention_patterns");
+}
+
+#[test]
+fn fig08_accuracy_runs() {
+    run_quick("fig08_accuracy");
+}
+
+#[test]
+fn fig09_throughput_runs() {
+    run_quick("fig09_throughput");
+}
+
+#[test]
+fn fig10_attainable_sparsity_runs() {
+    run_quick("fig10_attainable_sparsity");
+}
+
+#[test]
+fn fig12_breakdown_runs() {
+    run_quick("fig12_inference_breakdown");
+}
