@@ -181,7 +181,11 @@ mod tests {
 
     #[test]
     fn vocab_mass_groups_by_token_id() {
-        let aw = Matrix::from_rows(&[vec![1.0, 0.0, 0.0], vec![0.4, 0.6, 0.0], vec![0.2, 0.3, 0.5]]);
+        let aw = Matrix::from_rows(&[
+            vec![1.0, 0.0, 0.0],
+            vec![0.4, 0.6, 0.0],
+            vec![0.2, 0.3, 0.5],
+        ]);
         let tokens = [7usize, 7, 2];
         let mass = vocab_attention_mass(&aw, &tokens, 10);
         assert!((mass[7] - (1.0 + 0.4 + 0.6 + 0.2 + 0.3)).abs() < 1e-6);

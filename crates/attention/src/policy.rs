@@ -247,11 +247,7 @@ impl StridedPolicy {
     /// The stride that spreads `budget` kept tokens over `seq_len`
     /// positions (≥ 1).
     pub fn covering(seq_len: usize, budget: usize) -> Self {
-        let stride = if budget == 0 {
-            1
-        } else {
-            (seq_len / budget).max(1)
-        };
+        let stride = seq_len.checked_div(budget).unwrap_or(1).max(1);
         StridedPolicy { stride }
     }
 }
@@ -606,7 +602,7 @@ mod tests {
         let m = h.as_matrix();
         assert_eq!(m.shape(), (2, 3));
         assert_eq!(m.get(0, 2), 0.0); // padded
-        // Global sums still include the evicted first row.
+                                      // Global sums still include the evicted first row.
         assert!((h.global_sums()[0] - 1.7).abs() < 1e-6);
     }
 

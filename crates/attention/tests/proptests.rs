@@ -44,7 +44,7 @@ proptest! {
             }
             // Within budget (dense exempt).
             if policy.is_sparse() {
-                prop_assert!(sel.kept.len() <= budget.max(0), "{kind}: budget exceeded");
+                prop_assert!(sel.kept.len() <= budget, "{kind}: budget exceeded");
             }
             // local ∪ global == kept, disjoint.
             let mut union: Vec<usize> =

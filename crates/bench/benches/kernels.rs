@@ -15,7 +15,9 @@ fn filled(rows: usize, cols: usize) -> Matrix {
     Matrix::from_vec(
         rows,
         cols,
-        (0..rows * cols).map(|i| ((i * 37) % 101) as f32 * 0.01 - 0.5).collect(),
+        (0..rows * cols)
+            .map(|i| ((i * 37) % 101) as f32 * 0.01 - 0.5)
+            .collect(),
     )
     .unwrap()
 }
@@ -76,9 +78,7 @@ fn bench_attention(c: &mut Criterion) {
         });
         let kept: Vec<usize> = (0..seq).step_by(5).collect();
         g.bench_with_input(BenchmarkId::new("sparse_20pct", seq), &seq, |b, _| {
-            b.iter(|| {
-                black_box(attend_single_sparse(&q, &keys, &values, None, &kept).unwrap())
-            });
+            b.iter(|| black_box(attend_single_sparse(&q, &keys, &values, None, &kept).unwrap()));
         });
     }
     g.finish();

@@ -6,8 +6,8 @@
 use alisa_memsim::HardwareSpec;
 use alisa_model::ModelConfig;
 use alisa_sched::{
-    AccelerateScheduler, AlisaScheduler, DeepSpeedZeroScheduler, FlexGenScheduler,
-    InferenceSystem, VllmScheduler, Workload,
+    AccelerateScheduler, AlisaScheduler, DeepSpeedZeroScheduler, FlexGenScheduler, InferenceSystem,
+    VllmScheduler, Workload,
 };
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 

@@ -23,7 +23,10 @@ use alisa_workloads::{evaluate_lm, evaluate_qa, Dataset, QaTask};
 
 fn main() {
     let quick = alisa_bench::quick_mode();
-    banner("Ablations", "SWA design choices (beyond the paper's figures)");
+    banner(
+        "Ablations",
+        "SWA design choices (beyond the paper's figures)",
+    );
     let (num_seqs, prompt_len, seq_len) = if quick { (2, 8, 64) } else { (3, 16, 160) };
     let episodes_n = if quick { 8 } else { 24 };
 
@@ -91,7 +94,10 @@ fn main() {
             None => "2".to_string(),
             Some(q) => format!("{:.1}", q.bits() as f32 / 8.0),
         };
-        row(label, [f(lm.perplexity as f64), f(qa.accuracy as f64), bytes]);
+        row(
+            label,
+            [f(lm.perplexity as f64), f(qa.accuracy as f64), bytes],
+        );
     }
 
     // ---- 4. eviction order vs the Belady oracle on SWA working-set

@@ -38,12 +38,24 @@ fn main() {
         println!("\n--- {label} ---");
         row(
             "placement",
-            ["MHA+FFN (s)", "mem access (s)", "total (s)", "GPU KV GiB", "CPU KV GiB"],
+            [
+                "MHA+FFN (s)",
+                "mem access (s)",
+                "total (s)",
+                "GPU KV GiB",
+                "CPU KV GiB",
+            ],
         );
         let cases: Vec<(&str, Box<dyn InferenceSystem>)> = vec![
             ("GPU only", Box::new(GpuOnlyScheduler::with_kv_cache())),
-            ("50% CPU", Box::new(FlexGenScheduler::with_cpu_fraction(0.5))),
-            ("100% CPU", Box::new(FlexGenScheduler::with_cpu_fraction(1.0))),
+            (
+                "50% CPU",
+                Box::new(FlexGenScheduler::with_cpu_fraction(0.5)),
+            ),
+            (
+                "100% CPU",
+                Box::new(FlexGenScheduler::with_cpu_fraction(1.0)),
+            ),
         ];
         let mut gpu_only_total = None;
         for (name, system) in cases {

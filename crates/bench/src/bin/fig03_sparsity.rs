@@ -42,25 +42,27 @@ fn main() {
             })
             .collect();
         // Per-step sparsity (averaged over layers) at a few checkpoints.
-        let step_marks: Vec<usize> = (seq_len / 4..seq_len).step_by((seq_len / 4).max(1)).collect();
+        let step_marks: Vec<usize> = (seq_len / 4..seq_len)
+            .step_by((seq_len / 4).max(1))
+            .collect();
         let per_step: Vec<f64> = step_marks
             .iter()
             .map(|&s| {
                 let mut total = 0.0;
                 for l in 0..model.config().num_layers {
                     let rw = &cap.rows[s][l];
-                    total += alisa_tensor::stats::row_sparsity(&rw[..=s.min(rw.len() - 1)], 0.01)
-                        as f64;
+                    total +=
+                        alisa_tensor::stats::row_sparsity(&rw[..=s.min(rw.len() - 1)], 0.01) as f64;
                 }
                 total / model.config().num_layers as f64
             })
             .collect();
 
-        println!("\n{} (emulated; concentration {:.2})", target.name, init.concentration);
-        row(
-            "layer sparsity",
-            per_layer.iter().map(|s| f(s * 100.0)),
+        println!(
+            "\n{} (emulated; concentration {:.2})",
+            target.name, init.concentration
         );
+        row("layer sparsity", per_layer.iter().map(|s| f(s * 100.0)));
         row(
             &format!("step sparsity @{step_marks:?}"),
             per_step.iter().map(|s| f(s * 100.0)),
@@ -68,5 +70,7 @@ fn main() {
         let mean = per_layer.iter().sum::<f64>() / per_layer.len() as f64;
         println!("mean attention-weight sparsity: {:.1}%", mean * 100.0);
     }
-    println!("\npaper: sparsity 80–99%; larger models sparser (OPT-30B density ~3x less than 6.7B)");
+    println!(
+        "\npaper: sparsity 80–99%; larger models sparser (OPT-30B density ~3x less than 6.7B)"
+    );
 }

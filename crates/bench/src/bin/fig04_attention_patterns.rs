@@ -64,7 +64,10 @@ fn main() {
     let head_ids: Vec<usize> = by_dense[..(by_dense.len() / 4).max(8)].to_vec();
 
     println!("\nKV sparsity for sparse methods: {:.0}%", sparsity * 100.0);
-    row("method", ["rho (all)", "rho (head)", "zipf slope", "zipf R^2"]);
+    row(
+        "method",
+        ["rho (all)", "rho (head)", "zipf slope", "zipf R^2"],
+    );
     for kind in [
         PolicyKind::Dense,
         PolicyKind::Local,
@@ -74,7 +77,11 @@ fn main() {
     ] {
         let cfg = GenerationConfig::default().with_policy(
             kind,
-            if kind == PolicyKind::Dense { 0.0 } else { sparsity },
+            if kind == PolicyKind::Dense {
+                0.0
+            } else {
+                sparsity
+            },
         );
         let cap = run_with_capture(&model, &tokens, &cfg);
         let map = cap.layer_map(1).slice_rows(lo, seq_len);
@@ -102,7 +109,9 @@ fn main() {
             let cols = map.cols().min(48);
             for r in lo_r..map.rows() {
                 let rowmax = map.row(r).iter().copied().fold(0.0f32, f32::max);
-                let line: String = (0..cols).map(|c| heat_cell(map.get(r, c), rowmax)).collect();
+                let line: String = (0..cols)
+                    .map(|c| heat_cell(map.get(r, c), rowmax))
+                    .collect();
                 println!("    |{line}|");
             }
         }

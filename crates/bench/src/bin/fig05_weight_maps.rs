@@ -13,7 +13,10 @@ use alisa_workloads::Dataset;
 
 fn main() {
     let quick = alisa_bench::quick_mode();
-    banner("Figure 5", "average dense attention-weight maps (seq len 16)");
+    banner(
+        "Figure 5",
+        "average dense attention-weight maps (seq len 16)",
+    );
     let init = InitSpec::default().with_concentration_for_params(6_700_000_000);
     let model = TinyTransformer::structured(ModelConfig::tiny_4l(), init);
     let corpus = Dataset::WikiText2.spec(

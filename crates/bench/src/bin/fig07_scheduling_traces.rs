@@ -27,7 +27,8 @@ fn main() {
     let tok_bytes = model.kv_bytes_per_token(FP16) * wl.batch_size as u64;
 
     let mut sim = SimBase::new(&hw);
-    sim.setup_resident(&model, &wl, true).expect("residents fit");
+    sim.setup_resident(&model, &wl, true)
+        .expect("residents fit");
     let headroom = sim.gpu_kv_headroom();
     // Scale the trace so placement pressure appears within 48 steps:
     // pretend the headroom only fits 24 tokens of KV.

@@ -62,7 +62,10 @@ fn main() {
     let (num_seqs, prompt_len, seq_len) = if quick { (2, 8, 64) } else { (3, 16, 160) };
     let episodes_n = if quick { 8 } else { 24 };
 
-    let header: Vec<String> = sparsities.iter().map(|s| format!("{:.0}%", s * 100.0)).collect();
+    let header: Vec<String> = sparsities
+        .iter()
+        .map(|s| format!("{:.0}%", s * 100.0))
+        .collect();
 
     for target in &models {
         let init = InitSpec::default().with_concentration_for_params(target.params());

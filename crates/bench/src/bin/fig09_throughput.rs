@@ -12,8 +12,8 @@ use alisa_bench::{banner, f, row};
 use alisa_memsim::HardwareSpec;
 use alisa_model::ModelConfig;
 use alisa_sched::{
-    AccelerateScheduler, DeepSpeedZeroScheduler, FlexGenScheduler, InferenceSystem,
-    VllmScheduler, Workload,
+    AccelerateScheduler, DeepSpeedZeroScheduler, FlexGenScheduler, InferenceSystem, VllmScheduler,
+    Workload,
 };
 
 fn main() {
@@ -42,7 +42,15 @@ fn main() {
         println!("\n===== {} on {} =====", model.name, hw.gpu.name);
         row(
             "batch",
-            ["DS-ZeRO", "Accelerate", "FlexGen", "vLLM", "ALISA", "vs FG", "vs vLLM"],
+            [
+                "DS-ZeRO",
+                "Accelerate",
+                "FlexGen",
+                "vLLM",
+                "ALISA",
+                "vs FG",
+                "vs vLLM",
+            ],
         );
         for &b in &batches {
             let wl = Workload::new(b, 128, out_len);
@@ -62,7 +70,10 @@ fn main() {
                 });
             }
             // ALISA with an offline-optimized plan per workload.
-            let base = Alisa::builder().kv_sparsity(0.8).kv_compression(true).hardware(hw.clone());
+            let base = Alisa::builder()
+                .kv_sparsity(0.8)
+                .kv_compression(true)
+                .hardware(hw.clone());
             let alisa = base.build();
             let (tuned, _) = alisa.optimized_for(model, &wl);
             let ra = tuned.simulate(model, &wl);
@@ -101,7 +112,10 @@ fn main() {
         }
     }
     let maxf = alisa_vs_flexgen.iter().copied().fold(0.0, f64::max);
-    let minf = alisa_vs_flexgen.iter().copied().fold(f64::INFINITY, f64::min);
+    let minf = alisa_vs_flexgen
+        .iter()
+        .copied()
+        .fold(f64::INFINITY, f64::min);
     let maxv = alisa_vs_vllm.iter().copied().fold(0.0, f64::max);
     println!(
         "\nALISA vs FlexGen: {:.2}x – {:.2}x   (paper: 1.4x – 3.0x)",

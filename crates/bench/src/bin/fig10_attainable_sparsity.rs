@@ -60,12 +60,13 @@ fn main() {
                 }
             })
             .collect();
-        println!("\n{} (emulated): dense ceiling {:.1}%", target.name, dense * 100.0);
-        row("", header.iter().map(String::as_str));
-        row(
-            "attention sparsity %",
-            vals.iter().map(|v| f(v * 100.0)),
+        println!(
+            "\n{} (emulated): dense ceiling {:.1}%",
+            target.name,
+            dense * 100.0
         );
+        row("", header.iter().map(String::as_str));
+        row("attention sparsity %", vals.iter().map(|v| f(v * 100.0)));
         let monotone = vals.windows(2).all(|w| w[1] >= w[0] - 0.02);
         println!("monotone toward ceiling: {monotone}");
     }

@@ -30,7 +30,15 @@ fn main() {
         );
         row(
             "kv sparsity",
-            ["qkt (us)", "qkt FLOPS", "local sum (us)", "ADD FLOPS", "gather (us)", "softmax+av (us)", "total (us)"],
+            [
+                "qkt (us)",
+                "qkt FLOPS",
+                "local sum (us)",
+                "ADD FLOPS",
+                "gather (us)",
+                "softmax+av (us)",
+                "total (us)",
+            ],
         );
         for sparsity in [0.0f64, 0.4, 0.8] {
             let kept = ((s as f64) * (1.0 - sparsity)).round().max(1.0) as usize;

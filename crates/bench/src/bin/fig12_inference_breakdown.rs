@@ -35,7 +35,11 @@ fn main() {
     } else {
         Workload::alpaca(64)
     };
-    let sparsities = if quick { vec![0.8] } else { vec![0.4, 0.6, 0.8] };
+    let sparsities = if quick {
+        vec![0.8]
+    } else {
+        vec![0.4, 0.6, 0.8]
+    };
 
     // ---- (a) per-phase time and memory: FlexGen vs ALISA. The plan
     // (α, β, p2) comes from the offline optimizer per sparsity, as in
@@ -43,8 +47,7 @@ fn main() {
     println!("\n--- (a) per-phase execution time / memory ---");
     for &sp in &sparsities {
         let base = AlisaScheduler::new(sp, true);
-        let (plan, _) =
-            alisa_sched::PlanOptimizer::default().optimize(&base, &model, &hw, &wl);
+        let (plan, _) = alisa_sched::PlanOptimizer::default().optimize(&base, &model, &hw, &wl);
         let alisa = base.with_plan(plan).run(&model, &hw, &wl);
         let flexgen = FlexGenScheduler::new().run(&model, &hw, &wl);
         assert!(alisa.outcome.is_completed(), "{}", alisa.summary());
@@ -59,7 +62,12 @@ fn main() {
         );
         row(
             "phase",
-            ["ALISA t(s)", "FlexGen t(s)", "ALISA GPU GiB", "ALISA CPU GiB"],
+            [
+                "ALISA t(s)",
+                "FlexGen t(s)",
+                "ALISA GPU GiB",
+                "ALISA CPU GiB",
+            ],
         );
         for phase in 1u8..=3 {
             let at = alisa.timeline.phase_time(phase);
@@ -107,7 +115,10 @@ fn main() {
 
     // ---- (b) impact of recomputation.
     println!("\n--- (b) recomputation on vs off (full sequence) ---");
-    row("kv sparsity", ["recompute ON (s)", "recompute OFF (s)", "gain"]);
+    row(
+        "kv sparsity",
+        ["recompute ON (s)", "recompute OFF (s)", "gain"],
+    );
     for &sp in &sparsities {
         let on = AlisaScheduler::new(sp, true)
             .with_plan(Plan {
@@ -115,7 +126,9 @@ fn main() {
                 ..Plan::default()
             })
             .run(&model, &hw, &wl);
-        let off = AlisaScheduler::new(sp, true).without_recompute().run(&model, &hw, &wl);
+        let off = AlisaScheduler::new(sp, true)
+            .without_recompute()
+            .run(&model, &hw, &wl);
         row(
             &format!("{:.0}%", sp * 100.0),
             [

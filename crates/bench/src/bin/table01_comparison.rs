@@ -22,7 +22,11 @@ fn main() {
     };
     let head = {
         let s = HeadSplitStore::new(100, 0.25);
-        format!("head split ({}%/{}%)", 75, (s.cpu_fraction() * 100.0) as u32)
+        format!(
+            "head split ({}%/{}%)",
+            75,
+            (s.cpu_fraction() * 100.0) as u32
+        )
     };
     let token = {
         let mut s = TokenKvStore::new(1);
@@ -46,22 +50,42 @@ fn main() {
     );
     row(
         "placement",
-        ["static (blocks)", "static (offline LP)", "dynamic (3-phase)"],
+        [
+            "static (blocks)",
+            "static (offline LP)",
+            "dynamic (3-phase)",
+        ],
     );
     row(
         "recomputation",
         [
             "yes (preemption)",
             "no",
-            if alisa_recompute { "yes (phase III)" } else { "no" },
+            if alisa_recompute {
+                "yes (phase III)"
+            } else {
+                "no"
+            },
         ],
     );
     row(
         "scenario",
-        ["online, multi-GPU", "offline, single-GPU", "offline, single-GPU"],
+        [
+            "online, multi-GPU",
+            "offline, single-GPU",
+            "offline, single-GPU",
+        ],
     );
     row(
         "algo-system co-design",
-        ["no", "no", if alisa_static { "yes" } else { "yes" }],
+        [
+            "no",
+            "no",
+            if alisa_static {
+                "yes (phased plan)"
+            } else {
+                "yes"
+            },
+        ],
     );
 }

@@ -86,7 +86,7 @@ impl PagedKvStore {
         let needs_new = self
             .blocks
             .last()
-            .map_or(true, |b| b.tokens == self.block_size);
+            .is_none_or(|b| b.tokens == self.block_size);
         if needs_new {
             self.blocks.push(Block {
                 tokens: 0,

@@ -105,9 +105,7 @@ impl TokenKvStore {
         let from = self.locations[i];
         self.locations[i] = to;
         match (from, to) {
-            (Location::Gpu, Location::Cpu) | (Location::Cpu, Location::Gpu) => {
-                self.bytes_per_token
-            }
+            (Location::Gpu, Location::Cpu) | (Location::Cpu, Location::Gpu) => self.bytes_per_token,
             _ => 0,
         }
     }

@@ -119,8 +119,7 @@ impl CostModel {
         if rows == 0 {
             return 0.0;
         }
-        KERNEL_OVERHEAD
-            + (rows * row_bytes) as f64 / (self.hbm_bandwidth * GATHER_BW_EFFICIENCY)
+        KERNEL_OVERHEAD + (rows * row_bytes) as f64 / (self.hbm_bandwidth * GATHER_BW_EFFICIENCY)
     }
 
     /// Time to move `bytes` across the CPU–GPU link (either direction).
@@ -240,7 +239,10 @@ mod tests {
         assert_eq!(m.gather_time(0, 1024), 0.0);
         let t1 = m.gather_time(10_000, 8192);
         let t2 = m.gather_time(20_000, 8192);
-        assert!(t2 > t1 * 1.5, "doubling rows must nearly double time once past launch overhead");
+        assert!(
+            t2 > t1 * 1.5,
+            "doubling rows must nearly double time once past launch overhead"
+        );
     }
 
     #[test]

@@ -113,6 +113,14 @@ impl HardwareSpec {
         }
     }
 
+    /// GPU bytes left for KV tensors once `resident_bytes` (weights +
+    /// activation workspace) are placed — the serving-time KV budget
+    /// online admission control divides among concurrent requests.
+    /// Saturates to zero when the residents alone overflow HBM.
+    pub fn gpu_kv_budget(&self, resident_bytes: u64) -> u64 {
+        self.gpu.memory_bytes.saturating_sub(resident_bytes)
+    }
+
     /// Picks the testbed the paper pairs with a given model scale
     /// (§VI-A "Implementation"): V100-16GB for ~7B, V100-32GB for ~13B,
     /// H100-80GB for ~30B and larger.
@@ -184,6 +192,14 @@ mod tests {
             HardwareSpec::for_model_params(30_000_000_000).gpu.name,
             "NVIDIA H100-80GB"
         );
+    }
+
+    #[test]
+    fn kv_budget_saturates() {
+        let hw = HardwareSpec::v100_16gb();
+        assert_eq!(hw.gpu_kv_budget(0), 16 * GIB);
+        assert_eq!(hw.gpu_kv_budget(6 * GIB), 10 * GIB);
+        assert_eq!(hw.gpu_kv_budget(100 * GIB), 0);
     }
 
     #[test]

@@ -131,13 +131,17 @@ impl AssocModel {
 
         let mut rng = StdRng::seed_from_u64(spec.seed);
         let unit = |rng: &mut StdRng, d: usize| -> Vec<f32> {
-            let v: Vec<f32> = (0..d).map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 }).collect();
+            let v: Vec<f32> = (0..d)
+                .map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 })
+                .collect();
             let n = (d as f32).sqrt();
             v.into_iter().map(|x| x / n).collect()
         };
         let keyvecs: Vec<Vec<f32>> = (0..spec.n_keys).map(|_| unit(&mut rng, dk)).collect();
         let valvecs: Vec<Vec<f32>> = (0..spec.n_vals).map(|_| unit(&mut rng, dv)).collect();
-        let binding: Vec<usize> = (0..spec.n_keys).map(|_| rng.gen_range(0..spec.n_vals)).collect();
+        let binding: Vec<usize> = (0..spec.n_keys)
+            .map(|_| rng.gen_range(0..spec.n_vals))
+            .collect();
 
         let vocab = AssocVocab {
             n_keys: spec.n_keys,
@@ -156,18 +160,18 @@ impl AssocModel {
                 row[dk + c] = spec.val_gain * vv;
             }
         }
-        for i in 0..spec.n_keys {
+        for (i, keyvec) in keyvecs.iter().enumerate().take(spec.n_keys) {
             // query_i = [α·keyvec_i | 0]
             let row = embedding.row_mut(vocab.query(i));
-            for (c, &kv) in keyvecs[i].iter().enumerate() {
+            for (c, &kv) in keyvec.iter().enumerate() {
                 row[c] = spec.key_gain * kv;
             }
         }
-        for j in 0..spec.n_vals {
+        for (j, valvec) in valvecs.iter().enumerate().take(spec.n_vals) {
             // value_j = [0 | valvec_j] — the LM head (tied weights)
             // scores exactly the value subspace.
             let row = embedding.row_mut(vocab.value(j));
-            for (c, &vv) in valvecs[j].iter().enumerate() {
+            for (c, &vv) in valvec.iter().enumerate() {
                 row[dk + c] = vv;
             }
         }
@@ -323,11 +327,7 @@ mod tests {
             let prompt = vec![v.fact(key), v.filler(0), v.filler(1), v.query(key)];
             let logits = final_logits(&m, &prompt);
             let best = (0..v.n_vals)
-                .max_by(|&a, &b| {
-                    logits[v.value(a)]
-                        .partial_cmp(&logits[v.value(b)])
-                        .unwrap()
-                })
+                .max_by(|&a, &b| logits[v.value(a)].partial_cmp(&logits[v.value(b)]).unwrap())
                 .unwrap();
             if best == m.answer(key) {
                 correct += 1;
@@ -345,18 +345,12 @@ mod tests {
         let m = AssocModel::build(&AssocSpec::default());
         let v = m.vocab().clone();
         // Several facts in context; query a middle one.
-        let prompt = vec![
-            v.fact(0),
-            v.fact(5),
-            v.fact(9),
-            v.filler(3),
-            v.query(5),
-        ];
+        let prompt = vec![v.fact(0), v.fact(5), v.fact(9), v.filler(3), v.query(5)];
         let logits = final_logits(&m, &prompt);
         let correct = v.value(m.answer(5));
-        let best_val = (0..v.n_vals).map(|j| v.value(j)).max_by(|&a, &b| {
-            logits[a].partial_cmp(&logits[b]).unwrap()
-        });
+        let best_val = (0..v.n_vals)
+            .map(|j| v.value(j))
+            .max_by(|&a, &b| logits[a].partial_cmp(&logits[b]).unwrap());
         assert_eq!(best_val, Some(correct));
     }
 
@@ -418,10 +412,14 @@ mod tests {
         }
         let logits = out.unwrap().logits;
         let correct = v.value(m.answer(2));
-        let best_val = (0..v.n_vals).map(|j| v.value(j)).max_by(|&a, &b| {
-            logits[a].partial_cmp(&logits[b]).unwrap()
-        });
-        assert_eq!(best_val, Some(correct), "SWA must retain the heavy-hitter fact");
+        let best_val = (0..v.n_vals)
+            .map(|j| v.value(j))
+            .max_by(|&a, &b| logits[a].partial_cmp(&logits[b]).unwrap());
+        assert_eq!(
+            best_val,
+            Some(correct),
+            "SWA must retain the heavy-hitter fact"
+        );
     }
 
     #[test]

@@ -89,12 +89,28 @@ impl ModelConfig {
 
     /// Pythia-6.9B (the paper rounds to "6.7B"): 32 layers, 4096 hidden.
     pub fn pythia_6_9b() -> Self {
-        Self::paper("Pythia-6.9B", ModelFamily::Pythia, 32, 4096, 32, 16384, 50304)
+        Self::paper(
+            "Pythia-6.9B",
+            ModelFamily::Pythia,
+            32,
+            4096,
+            32,
+            16384,
+            50304,
+        )
     }
 
     /// Pythia-12B: 36 layers, 5120 hidden, 40 heads.
     pub fn pythia_12b() -> Self {
-        Self::paper("Pythia-12B", ModelFamily::Pythia, 36, 5120, 40, 20480, 50304)
+        Self::paper(
+            "Pythia-12B",
+            ModelFamily::Pythia,
+            36,
+            5120,
+            40,
+            20480,
+            50304,
+        )
     }
 
     /// Every paper model, in the order of Figures 8 and 9.
@@ -156,7 +172,10 @@ impl ModelConfig {
     ///
     /// Panics if `hidden` is not divisible by `heads`.
     pub fn tiny(name: &str, layers: usize, hidden: usize, heads: usize, vocab: usize) -> Self {
-        assert!(hidden % heads == 0, "hidden_dim must divide into heads");
+        assert!(
+            heads > 0 && hidden > 0 && hidden.is_multiple_of(heads),
+            "hidden_dim must divide into heads (and both must be positive)"
+        );
         ModelConfig {
             name: name.to_string(),
             family: ModelFamily::Synthetic,
@@ -185,7 +204,11 @@ impl ModelConfig {
         let l = self.num_layers as u64;
         let f = self.ffn_dim as u64;
         let v = self.vocab_size as u64;
-        let ffn_mats = if self.family == ModelFamily::Llama { 3 } else { 2 };
+        let ffn_mats = if self.family == ModelFamily::Llama {
+            3
+        } else {
+            2
+        };
         v * h + l * (4 * h * h + ffn_mats * h * f)
     }
 
@@ -320,7 +343,11 @@ mod tests {
 
     #[test]
     fn tiny_models_are_small_and_valid() {
-        for cfg in [ModelConfig::tiny_2l(), ModelConfig::tiny_4l(), ModelConfig::tiny_6l()] {
+        for cfg in [
+            ModelConfig::tiny_2l(),
+            ModelConfig::tiny_4l(),
+            ModelConfig::tiny_6l(),
+        ] {
             assert_eq!(cfg.family, ModelFamily::Synthetic);
             assert!(cfg.params() < 10_000_000);
             assert_eq!(cfg.hidden_dim % cfg.num_heads, 0);

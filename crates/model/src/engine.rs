@@ -305,7 +305,10 @@ mod tests {
             ..GenerationConfig::default()
         };
         assert_eq!(cfg.step_policy(100).budget, 20);
-        assert_eq!(cfg.step_policy(5).budget, 2.max((5.0_f32 * 0.2).round() as usize));
+        assert_eq!(
+            cfg.step_policy(5).budget,
+            2.max((5.0_f32 * 0.2).round() as usize)
+        );
         // Budget never exceeds the sequence length.
         assert!(cfg.step_policy(1).budget <= 1);
     }

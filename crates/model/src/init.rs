@@ -151,9 +151,15 @@ mod tests {
     #[test]
     fn concentration_grows_with_scale() {
         let base = InitSpec::default();
-        let c7 = base.with_concentration_for_params(6_700_000_000).concentration;
-        let c13 = base.with_concentration_for_params(13_000_000_000).concentration;
-        let c30 = base.with_concentration_for_params(30_000_000_000).concentration;
+        let c7 = base
+            .with_concentration_for_params(6_700_000_000)
+            .concentration;
+        let c13 = base
+            .with_concentration_for_params(13_000_000_000)
+            .concentration;
+        let c30 = base
+            .with_concentration_for_params(30_000_000_000)
+            .concentration;
         assert!(c7 < c13 && c13 < c30, "{c7} {c13} {c30}");
         assert!((c7 - 1.6).abs() < 0.05, "anchored at ~1.6 for 6.7B");
     }

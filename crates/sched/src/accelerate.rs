@@ -9,7 +9,7 @@ use alisa_memsim::{HardwareSpec, MemClass, StepRecord};
 use alisa_model::ModelConfig;
 use serde::{Deserialize, Serialize};
 
-use crate::common::{efficiency, SimBase, FP16};
+use crate::common::{self, efficiency, SimBase, FP16};
 use crate::report::RunReport;
 use crate::workload::Workload;
 use crate::InferenceSystem;
@@ -73,7 +73,9 @@ impl InferenceSystem for AccelerateScheduler {
                 // host-resident cache + the new token crosses the link.
                 let (mha, ffn) = sim.decode_compute(model, b, 1, efficiency::ACCELERATE);
                 let cpu_attn = sim.cost.cpu_pack_time(tok_bytes * seq_len as u64);
-                let qr = sim.cost.transfer_time((2 * b * model.hidden_dim * FP16) as u64);
+                let qr = sim
+                    .cost
+                    .transfer_time(common::delegated_attention_qr_bytes(b, model.hidden_dim));
                 (mha, ffn, cpu_attn + qr, sim.cost.transfer_time(tok_bytes))
             } else {
                 let (mha, ffn) = sim.decode_compute(model, b, seq_len, efficiency::ACCELERATE);

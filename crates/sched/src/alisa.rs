@@ -82,7 +82,10 @@ impl AlisaScheduler {
     /// Creates ALISA at the given sparsity, with or without KV
     /// compression, under the default plan.
     pub fn new(kv_sparsity: f64, kv_compression: bool) -> Self {
-        assert!((0.0..1.0).contains(&kv_sparsity), "sparsity must be in [0,1)");
+        assert!(
+            (0.0..1.0).contains(&kv_sparsity),
+            "sparsity must be in [0,1)"
+        );
         AlisaScheduler {
             kv_sparsity,
             kv_compression,
@@ -138,7 +141,10 @@ impl GlobalSetModel {
     /// Scores position `p` at step `j`; higher = more likely selected.
     fn score(&self, p: usize, j: usize, seq_len: usize) -> f64 {
         let hot = hash_unit(self.seed, p as u64);
-        let drift = hash_unit(self.seed ^ 0xD21F, (p as u64) << 20 | (j / self.epoch) as u64);
+        let drift = hash_unit(
+            self.seed ^ 0xD21F,
+            (p as u64) << 20 | (j / self.epoch) as u64,
+        );
         let recency = p as f64 / seq_len.max(1) as f64;
         0.55 * hot + 0.2 * drift + 0.25 * recency
     }
@@ -208,10 +214,10 @@ impl InferenceSystem for AlisaScheduler {
         if let Err(e) = sim.gpu.alloc(MemClass::KvCache, gpu_kv) {
             return sim.oom(self.name(), model, wl, 0, e);
         }
-        if let Err(e) = sim
-            .cpu
-            .alloc(MemClass::KvCache, store.count(Location::Cpu) as u64 * cpu_tok)
-        {
+        if let Err(e) = sim.cpu.alloc(
+            MemClass::KvCache,
+            store.count(Location::Cpu) as u64 * cpu_tok,
+        ) {
             return sim.oom(self.name(), model, wl, 0, e);
         }
 
@@ -346,8 +352,7 @@ impl InferenceSystem for AlisaScheduler {
                 mha_time: mha,
                 ffn_time: ffn,
                 recompute_time,
-                load_time: sim.cost.transfer_time(load_bytes)
-                    + sim.cost.cpu_pack_time(load_bytes),
+                load_time: sim.cost.transfer_time(load_bytes) + sim.cost.cpu_pack_time(load_bytes),
                 store_time: sim.cost.transfer_time(store_bytes),
                 quant_time,
                 selection_time: selection,
@@ -361,7 +366,7 @@ impl InferenceSystem for AlisaScheduler {
 }
 
 fn mix_name(model: &ModelConfig, wl: &Workload) -> u64 {
-    let mut h = 0xA11_5Au64;
+    let mut h = 0x000A_115A_u64;
     for by in model.name.bytes() {
         h = h.wrapping_mul(0x100000001b3) ^ by as u64;
     }
@@ -479,7 +484,10 @@ mod tests {
         );
         assert!(r.outcome.is_completed(), "{}", r.summary());
         assert!(r.timeline.phase_records(2).count() > 0, "no Phase II steps");
-        assert!(r.timeline.phase_records(3).count() > 0, "no Phase III steps");
+        assert!(
+            r.timeline.phase_records(3).count() > 0,
+            "no Phase III steps"
+        );
         assert!(r.timeline.total_transfer_time() > 0.0);
         // Phases are monotone: once in III, never back to I.
         let phases: Vec<u8> = r.timeline.records().iter().map(|s| s.phase).collect();

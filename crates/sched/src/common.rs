@@ -25,6 +25,53 @@ pub mod efficiency {
     pub const DEEPSPEED: f64 = 0.85;
 }
 
+/// Link bytes exchanged per decode step for CPU-delegated attention:
+/// the query shipped host-ward plus the partial attention result
+/// shipped back, each `b × h` at FP16. One definition shared by the
+/// offline simulators (FlexGen, Accelerate) and the online serving
+/// engine so the traffic model cannot drift between them.
+pub fn delegated_attention_qr_bytes(b: usize, hidden_dim: usize) -> u64 {
+    (2 * b * hidden_dim * FP16) as u64
+}
+
+/// Per-step cost model shared by every execution engine in the
+/// workspace — the offline batch simulators in this crate and the
+/// online serving engine in `alisa-serve` price their steps through
+/// this one interface, so compute/transfer costs can never drift apart
+/// between the two evaluation paths.
+///
+/// Object-safe on purpose: engines that only need pricing can hold a
+/// `&dyn StepExecutor` without knowing about [`SimBase`]'s pools.
+pub trait StepExecutor {
+    /// Wall-clock seconds of a prefill pass over `s` prompt tokens for a
+    /// batch of `b` sequences at framework efficiency `eff`.
+    fn prefill_time(&self, model: &ModelConfig, b: usize, s: usize, eff: f64) -> f64;
+
+    /// Wall-clock seconds of one decoding step attending `kv_tokens`
+    /// cached tokens per sequence at batch `b` (MHA + FFN).
+    fn decode_time(&self, model: &ModelConfig, b: usize, kv_tokens: usize, eff: f64) -> f64;
+
+    /// ALISA's sparse-token selection overhead for one step.
+    fn selection_time(
+        &self,
+        model: &ModelConfig,
+        b: usize,
+        seq_len: usize,
+        kept: usize,
+        history_depth: usize,
+    ) -> f64;
+
+    /// CPU–GPU link time for `bytes` in either direction.
+    fn link_time(&self, bytes: u64) -> f64;
+
+    /// Host-side memory time for `bytes` (CPU-delegated attention /
+    /// repacking).
+    fn host_memory_time(&self, bytes: u64) -> f64;
+
+    /// GPU-side quantize/dequantize time for `bytes` of KV data.
+    fn quant_time(&self, bytes: u64) -> f64;
+}
+
 /// Mutable simulation state shared by all system simulators: the cost
 /// model, both memory pools, and the growing timeline.
 #[derive(Debug, Clone)]
@@ -171,6 +218,40 @@ impl SimBase {
     }
 }
 
+impl StepExecutor for SimBase {
+    fn prefill_time(&self, model: &ModelConfig, b: usize, s: usize, eff: f64) -> f64 {
+        self.prefill_compute(model, b, s, eff)
+    }
+
+    fn decode_time(&self, model: &ModelConfig, b: usize, kv_tokens: usize, eff: f64) -> f64 {
+        let (mha, ffn) = self.decode_compute(model, b, kv_tokens, eff);
+        mha + ffn
+    }
+
+    fn selection_time(
+        &self,
+        model: &ModelConfig,
+        b: usize,
+        seq_len: usize,
+        kept: usize,
+        history_depth: usize,
+    ) -> f64 {
+        self.selection_overhead(model, b, seq_len, kept, history_depth)
+    }
+
+    fn link_time(&self, bytes: u64) -> f64 {
+        self.cost.transfer_time(bytes)
+    }
+
+    fn host_memory_time(&self, bytes: u64) -> f64 {
+        self.cost.cpu_pack_time(bytes)
+    }
+
+    fn quant_time(&self, bytes: u64) -> f64 {
+        self.cost.quantize_time(bytes)
+    }
+}
+
 /// Deterministic 64-bit mix (splitmix64 finalizer) for synthetic access
 /// patterns — no RNG state to thread, fully reproducible.
 pub fn mix64(mut x: u64) -> u64 {
@@ -268,6 +349,32 @@ mod tests {
             "selection {sel:.4}s must not dominate compute {:.4}s",
             mha + ffn
         );
+    }
+
+    #[test]
+    fn step_executor_matches_inherent_methods() {
+        // The trait is the shared pricing surface for alisa-serve; it
+        // must agree exactly with the inherent methods the offline
+        // simulators call.
+        let b = base();
+        let m = ModelConfig::opt_6_7b();
+        let exec: &dyn StepExecutor = &b;
+        let (mha, ffn) = b.decode_compute(&m, 16, 256, 0.85);
+        assert_eq!(exec.decode_time(&m, 16, 256, 0.85), mha + ffn);
+        assert_eq!(
+            exec.prefill_time(&m, 8, 128, 1.0),
+            b.prefill_compute(&m, 8, 128, 1.0)
+        );
+        assert_eq!(
+            exec.selection_time(&m, 8, 640, 128, 4),
+            b.selection_overhead(&m, 8, 640, 128, 4)
+        );
+        assert_eq!(exec.link_time(1 << 20), b.cost.transfer_time(1 << 20));
+        assert_eq!(
+            exec.host_memory_time(1 << 20),
+            b.cost.cpu_pack_time(1 << 20)
+        );
+        assert_eq!(exec.quant_time(1 << 20), b.cost.quantize_time(1 << 20));
     }
 
     #[test]

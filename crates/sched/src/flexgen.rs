@@ -16,7 +16,7 @@ use alisa_memsim::{HardwareSpec, MemClass, StepRecord};
 use alisa_model::ModelConfig;
 use serde::{Deserialize, Serialize};
 
-use crate::common::{efficiency, SimBase, FP16};
+use crate::common::{self, efficiency, SimBase, FP16};
 use crate::report::RunReport;
 use crate::workload::Workload;
 use crate::InferenceSystem;
@@ -114,7 +114,11 @@ impl InferenceSystem for FlexGenScheduler {
             // Per-step link traffic: the new token's CPU share plus the
             // query/partial-result exchange for delegated attention.
             let store_time = sim.cost.transfer_time(store.per_step_store_bytes());
-            let qr_bytes = if frac > 0.0 { (2 * b * model.hidden_dim * FP16) as u64 } else { 0 };
+            let qr_bytes = if frac > 0.0 {
+                common::delegated_attention_qr_bytes(b, model.hidden_dim)
+            } else {
+                0
+            };
             let load_time = sim.cost.transfer_time(qr_bytes) + cpu_attn;
 
             sim.timeline.push(StepRecord {
@@ -145,7 +149,10 @@ mod tests {
             &Workload::alpaca(32),
         );
         assert!(r.outcome.is_completed(), "{}", r.summary());
-        assert!(r.timeline.sum_by(|s| s.load_time) > 0.0, "must pay CPU KV access");
+        assert!(
+            r.timeline.sum_by(|s| s.load_time) > 0.0,
+            "must pay CPU KV access"
+        );
     }
 
     #[test]

@@ -36,12 +36,13 @@ pub mod workload;
 
 pub use accelerate::AccelerateScheduler;
 pub use alisa::{AlisaScheduler, Plan, PlanOptimizer};
+pub use common::{SimBase, StepExecutor};
 pub use deepspeed::DeepSpeedZeroScheduler;
 pub use flexgen::FlexGenScheduler;
 pub use gpu_only::GpuOnlyScheduler;
 pub use report::{Outcome, RunReport};
 pub use vllm::VllmScheduler;
-pub use workload::Workload;
+pub use workload::{InvalidWorkload, Workload};
 
 use alisa_memsim::HardwareSpec;
 use alisa_model::ModelConfig;

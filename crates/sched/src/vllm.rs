@@ -154,15 +154,11 @@ mod tests {
         let model = ModelConfig::opt_6_7b();
         let hw = HardwareSpec::v100_16gb();
         let wl = Workload::alpaca(64);
-        let wave = VllmScheduler::new().wave_size(
-            &model,
-            &wl,
-            {
-                let mut sim = SimBase::new(&hw);
-                sim.setup_resident(&model, &wl, true).unwrap();
-                sim.gpu_kv_headroom()
-            },
-        );
+        let wave = VllmScheduler::new().wave_size(&model, &wl, {
+            let mut sim = SimBase::new(&hw);
+            sim.setup_resident(&model, &wl, true).unwrap();
+            sim.gpu_kv_headroom()
+        });
         assert!(wave > 0 && wave < 64, "expected waves, wave={wave}");
         let r = VllmScheduler::new().run(&model, &hw, &wl);
         assert!(r.outcome.is_completed(), "{}", r.summary());

@@ -14,19 +14,64 @@ pub struct Workload {
     pub output_len: usize,
 }
 
+/// A workload dimension that was zero (or otherwise unusable). Returned
+/// by [`Workload::try_new`] so boundaries ingesting external data (e.g.
+/// serving traces) can report malformed entries instead of panicking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidWorkload {
+    /// Offending batch size.
+    pub batch_size: usize,
+    /// Offending input length.
+    pub input_len: usize,
+    /// Offending output length.
+    pub output_len: usize,
+}
+
+impl std::fmt::Display for InvalidWorkload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "invalid workload: b={}, s={}, n={} (all dimensions must be positive)",
+            self.batch_size, self.input_len, self.output_len
+        )
+    }
+}
+
+impl std::error::Error for InvalidWorkload {}
+
 impl Workload {
     /// Creates a workload.
     ///
     /// # Panics
     ///
-    /// Panics if any dimension is zero.
+    /// Panics if any dimension is zero. Use [`Workload::try_new`] at
+    /// boundaries that ingest untrusted data.
     pub fn new(batch_size: usize, input_len: usize, output_len: usize) -> Self {
-        assert!(batch_size > 0 && input_len > 0 && output_len > 0);
-        Workload {
+        Self::try_new(batch_size, input_len, output_len).expect("workload dimensions must be > 0")
+    }
+
+    /// Non-panicking companion of [`Workload::new`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidWorkload`] if any dimension is zero.
+    pub fn try_new(
+        batch_size: usize,
+        input_len: usize,
+        output_len: usize,
+    ) -> Result<Self, InvalidWorkload> {
+        if batch_size == 0 || input_len == 0 || output_len == 0 {
+            return Err(InvalidWorkload {
+                batch_size,
+                input_len,
+                output_len,
+            });
+        }
+        Ok(Workload {
             batch_size,
             input_len,
             output_len,
-        }
+        })
     }
 
     /// The paper's system-evaluation workload (§VI-A): Alpaca-sampled
@@ -91,5 +136,20 @@ mod tests {
     #[should_panic]
     fn zero_batch_rejected() {
         let _ = Workload::new(0, 1, 1);
+    }
+
+    #[test]
+    fn try_new_reports_instead_of_panicking() {
+        assert_eq!(Workload::try_new(4, 8, 16), Ok(Workload::new(4, 8, 16)));
+        let err = Workload::try_new(4, 0, 16).unwrap_err();
+        assert_eq!(
+            err,
+            InvalidWorkload {
+                batch_size: 4,
+                input_len: 0,
+                output_len: 16
+            }
+        );
+        assert!(err.to_string().contains("s=0"));
     }
 }

@@ -1,0 +1,64 @@
+//! Online request-level serving simulator for the ALISA reproduction.
+//!
+//! The offline path (`alisa-sched`) answers "how fast does a fixed
+//! `(b, s, n)` batch run?". Production serving asks a different
+//! question: under a live arrival process, how much traffic can each
+//! KV-management policy sustain *within a latency SLO*? This crate
+//! answers it with a discrete-event, request-level simulation layered
+//! on the same per-step cost model (`alisa_sched::StepExecutor`), so
+//! offline and online numbers can never disagree about what a step
+//! costs:
+//!
+//! * [`request`] — the request lifecycle (Queued → Prefilling →
+//!   Decoding → Finished/Rejected) with per-request timestamps,
+//! * [`arrivals`] — seeded Poisson, bursty on/off, and closed-loop
+//!   arrival processes,
+//! * [`trace`] — validated, replayable traces (text round-trippable)
+//!   with lengths drawn from `alisa_workloads::LengthModel`,
+//! * [`admission`] — the KV-budget reservation rules: dense paged
+//!   (vLLM), static split (FlexGen), and ALISA's sparsity-aware
+//!   `(1 − sparsity) ×` reservation that admits a several-fold larger
+//!   concurrent batch from the same HBM,
+//! * [`engine`] — the continuous-batching loop with FCFS admission,
+//!   queue timeouts, and closed-loop gating,
+//! * [`metrics`] — TTFT/TBT/E2E percentiles, goodput under an SLO, and
+//!   queue/KV timelines in a [`ServeReport`] (the online counterpart of
+//!   `alisa_sched::RunReport`).
+//!
+//! # Example
+//!
+//! ```
+//! use alisa_memsim::HardwareSpec;
+//! use alisa_model::ModelConfig;
+//! use alisa_serve::{AdmissionPolicy, ArrivalProcess, ServeConfig, ServeEngine, Trace};
+//! use alisa_workloads::LengthModel;
+//!
+//! let trace = Trace::generate(
+//!     &ArrivalProcess::Poisson { rate: 2.0 },
+//!     &LengthModel::alpaca().with_max_output(32),
+//!     16,
+//!     42,
+//! );
+//! let engine = ServeEngine::new(ServeConfig::new(
+//!     ModelConfig::opt_6_7b(),
+//!     HardwareSpec::v100_16gb(),
+//!     AdmissionPolicy::alisa(),
+//! ));
+//! let report = engine.run(&trace);
+//! assert_eq!(report.arrived, 16);
+//! assert!(report.throughput_tps > 0.0);
+//! ```
+
+pub mod admission;
+pub mod arrivals;
+pub mod engine;
+pub mod metrics;
+pub mod request;
+pub mod trace;
+
+pub use admission::AdmissionPolicy;
+pub use arrivals::ArrivalProcess;
+pub use engine::{derived_slo, ClosedLoopCfg, ServeConfig, ServeEngine};
+pub use metrics::{LatencyStats, ServeReport, ServeSample, SloSpec};
+pub use request::{RejectReason, Request, RequestState};
+pub use trace::{Trace, TraceEntry, TraceError};

@@ -1,0 +1,165 @@
+//! Request lifecycle model.
+//!
+//! A serving request is born when its arrival timestamp passes
+//! (`Queued`), gets admitted by the continuous-batching engine
+//! (`Prefilling`, for the step that builds its prompt KV and emits the
+//! first token), decodes one token per engine step (`Decoding`), and
+//! leaves as `Finished` — or `Rejected` if admission control bounced it
+//! (infeasible footprint or queue-timeout).
+
+use alisa_sched::{InvalidWorkload, Workload};
+use serde::{Deserialize, Serialize};
+
+use crate::trace::TraceEntry;
+
+/// Where a request currently sits in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RequestState {
+    /// Arrived, waiting for admission.
+    Queued,
+    /// Admitted this step; prompt KV being built.
+    Prefilling,
+    /// Generating one token per engine step.
+    Decoding,
+    /// All output tokens generated.
+    Finished,
+    /// Bounced by admission control.
+    Rejected,
+}
+
+/// Why a request was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RejectReason {
+    /// Its KV footprint can never fit the device budget under the
+    /// active admission policy.
+    Infeasible,
+    /// It waited in the queue longer than the configured timeout.
+    QueueTimeout,
+}
+
+/// One in-flight (or completed) serving request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Request {
+    /// Position in the source trace (stable id).
+    pub id: usize,
+    /// Arrival time in seconds since simulation start.
+    pub arrival: f64,
+    /// Prompt length in tokens.
+    pub prompt_len: usize,
+    /// Output budget in tokens.
+    pub output_len: usize,
+    /// Lifecycle state.
+    pub state: RequestState,
+    /// When admission control let it in.
+    pub admitted_at: Option<f64>,
+    /// When its first output token materialized (end of prefill step).
+    pub first_token_at: Option<f64>,
+    /// When its last output token materialized.
+    pub finished_at: Option<f64>,
+    /// Why it was rejected, if it was.
+    pub reject_reason: Option<RejectReason>,
+    /// Output tokens generated so far.
+    pub generated: usize,
+}
+
+impl Request {
+    /// Builds a request from a trace entry, validating the lengths
+    /// through [`Workload::try_new`] so malformed entries surface as
+    /// errors at the serve boundary instead of panicking mid-simulation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidWorkload`] when either length is zero.
+    pub fn from_entry(id: usize, entry: &TraceEntry) -> Result<Self, InvalidWorkload> {
+        let wl = Workload::try_new(1, entry.prompt_len, entry.output_len)?;
+        Ok(Request {
+            id,
+            arrival: entry.arrival_s,
+            prompt_len: wl.input_len,
+            output_len: wl.output_len,
+            state: RequestState::Queued,
+            admitted_at: None,
+            first_token_at: None,
+            finished_at: None,
+            reject_reason: None,
+            generated: 0,
+        })
+    }
+
+    /// Current sequence length: prompt plus generated tokens.
+    pub fn seq_len(&self) -> usize {
+        self.prompt_len + self.generated
+    }
+
+    /// Final sequence length once fully decoded.
+    pub fn final_seq_len(&self) -> usize {
+        self.prompt_len + self.output_len
+    }
+
+    /// Time to first token, once known.
+    pub fn ttft(&self) -> Option<f64> {
+        self.first_token_at.map(|t| t - self.arrival)
+    }
+
+    /// End-to-end latency, once finished.
+    pub fn e2e(&self) -> Option<f64> {
+        self.finished_at.map(|t| t - self.arrival)
+    }
+
+    /// Mean time between output tokens (decode cadence). Zero for
+    /// single-token outputs.
+    pub fn mean_tbt(&self) -> Option<f64> {
+        match (self.first_token_at, self.finished_at) {
+            (Some(first), Some(last)) if self.generated > 1 => {
+                Some((last - first) / (self.generated - 1) as f64)
+            }
+            (Some(_), Some(_)) => Some(0.0),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(arrival_s: f64, prompt_len: usize, output_len: usize) -> TraceEntry {
+        TraceEntry {
+            arrival_s,
+            prompt_len,
+            output_len,
+        }
+    }
+
+    #[test]
+    fn lifecycle_accessors() {
+        let mut r = Request::from_entry(0, &entry(1.0, 64, 8)).unwrap();
+        assert_eq!(r.state, RequestState::Queued);
+        assert_eq!(r.seq_len(), 64);
+        assert_eq!(r.final_seq_len(), 72);
+        assert_eq!(r.ttft(), None);
+        r.first_token_at = Some(3.0);
+        r.finished_at = Some(10.0);
+        r.generated = 8;
+        assert_eq!(r.ttft(), Some(2.0));
+        assert_eq!(r.e2e(), Some(9.0));
+        assert!((r.mean_tbt().unwrap() - 1.0).abs() < 1e-12);
+        assert_eq!(r.seq_len(), 72);
+    }
+
+    #[test]
+    fn malformed_entry_is_reported_not_panicked() {
+        let err = Request::from_entry(3, &entry(0.0, 0, 8)).unwrap_err();
+        assert_eq!(err.input_len, 0);
+        assert!(Request::from_entry(3, &entry(0.0, 8, 0)).is_err());
+    }
+
+    #[test]
+    fn single_token_output_has_zero_tbt() {
+        let mut r = Request::from_entry(0, &entry(0.0, 4, 1)).unwrap();
+        r.first_token_at = Some(1.0);
+        r.finished_at = Some(1.0);
+        r.generated = 1;
+        assert_eq!(r.mean_tbt(), Some(0.0));
+    }
+}

@@ -1,0 +1,273 @@
+//! Replayable request traces.
+//!
+//! A [`Trace`] is the unit of reproducibility for online experiments:
+//! generate one from an arrival process + length model (seeded), save
+//! it with [`Trace::to_text`], reload it bit-exactly with
+//! [`Trace::from_text`], and replay it against any admission policy.
+//! Construction validates every entry — arrival times must be finite,
+//! non-negative, and non-decreasing, and lengths must form a valid
+//! `Workload` — so malformed data is reported at the boundary.
+
+use alisa_sched::Workload;
+use alisa_workloads::LengthModel;
+use serde::{Deserialize, Serialize};
+
+use crate::arrivals::ArrivalProcess;
+
+/// One request in a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceEntry {
+    /// Arrival time in seconds since trace start.
+    pub arrival_s: f64,
+    /// Prompt length in tokens.
+    pub prompt_len: usize,
+    /// Output budget in tokens.
+    pub output_len: usize,
+}
+
+/// Why a trace failed validation or parsing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceError {
+    /// Arrival at `idx` is negative, NaN, or infinite.
+    BadArrival {
+        /// Entry index.
+        idx: usize,
+    },
+    /// Arrival at `idx` precedes its predecessor.
+    NonMonotone {
+        /// Entry index.
+        idx: usize,
+    },
+    /// Lengths at `idx` do not form a valid workload.
+    BadLength {
+        /// Entry index.
+        idx: usize,
+        /// The underlying workload validation error.
+        source: alisa_sched::InvalidWorkload,
+    },
+    /// A serialized line could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+    },
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::BadArrival { idx } => {
+                write!(f, "trace entry {idx}: arrival must be finite and >= 0")
+            }
+            TraceError::NonMonotone { idx } => {
+                write!(f, "trace entry {idx}: arrival precedes entry {}", idx - 1)
+            }
+            TraceError::BadLength { idx, source } => {
+                write!(f, "trace entry {idx}: {source}")
+            }
+            TraceError::Parse { line } => write!(f, "trace line {line}: parse error"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// A validated, replayable sequence of request arrivals.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    entries: Vec<TraceEntry>,
+}
+
+impl Trace {
+    /// Validates and wraps raw entries.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`TraceError`] found.
+    pub fn new(entries: Vec<TraceEntry>) -> Result<Self, TraceError> {
+        let mut last = 0.0f64;
+        for (idx, e) in entries.iter().enumerate() {
+            if !e.arrival_s.is_finite() || e.arrival_s < 0.0 {
+                return Err(TraceError::BadArrival { idx });
+            }
+            if e.arrival_s < last {
+                return Err(TraceError::NonMonotone { idx });
+            }
+            last = e.arrival_s;
+            Workload::try_new(1, e.prompt_len, e.output_len)
+                .map_err(|source| TraceError::BadLength { idx, source })?;
+        }
+        Ok(Trace { entries })
+    }
+
+    /// Generates a trace of `n` requests: arrival times from `process`,
+    /// lengths from `lengths`, fully determined by `seed`.
+    pub fn generate(process: &ArrivalProcess, lengths: &LengthModel, n: usize, seed: u64) -> Self {
+        let arrivals = process.arrival_times(n, seed);
+        let entries = arrivals
+            .into_iter()
+            .enumerate()
+            .map(|(idx, arrival_s)| {
+                let (prompt_len, output_len) = lengths.sample(idx, seed);
+                TraceEntry {
+                    arrival_s,
+                    prompt_len,
+                    output_len,
+                }
+            })
+            .collect();
+        Trace::new(entries).expect("generated traces are valid by construction")
+    }
+
+    /// The validated entries, in arrival order.
+    pub fn entries(&self) -> &[TraceEntry] {
+        &self.entries
+    }
+
+    /// Number of requests.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Span from first to last arrival, in seconds.
+    pub fn duration(&self) -> f64 {
+        match (self.entries.first(), self.entries.last()) {
+            (Some(a), Some(b)) => b.arrival_s - a.arrival_s,
+            _ => 0.0,
+        }
+    }
+
+    /// Mean offered load in requests/second (0 for degenerate traces).
+    pub fn request_rate(&self) -> f64 {
+        let d = self.duration();
+        if d <= 0.0 {
+            0.0
+        } else {
+            (self.len() - 1) as f64 / d
+        }
+    }
+
+    /// Total output-token budget across all requests.
+    pub fn total_output_tokens(&self) -> usize {
+        self.entries.iter().map(|e| e.output_len).sum()
+    }
+
+    /// Serializes to a line-oriented text format. Float arrivals use
+    /// Rust's shortest-round-trip formatting, so
+    /// `from_text(to_text(t)) == t` exactly.
+    pub fn to_text(&self) -> String {
+        let mut out = String::from("# alisa-serve trace v1: arrival_s prompt_len output_len\n");
+        for e in &self.entries {
+            out.push_str(&format!(
+                "{} {} {}\n",
+                e.arrival_s, e.prompt_len, e.output_len
+            ));
+        }
+        out
+    }
+
+    /// Parses the [`Trace::to_text`] format (then re-validates).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Parse`] with the offending line, or any
+    /// validation error from [`Trace::new`].
+    pub fn from_text(text: &str) -> Result<Self, TraceError> {
+        let mut entries = Vec::new();
+        for (i, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let parsed = (|| {
+                let arrival_s: f64 = parts.next()?.parse().ok()?;
+                let prompt_len: usize = parts.next()?.parse().ok()?;
+                let output_len: usize = parts.next()?.parse().ok()?;
+                if parts.next().is_some() {
+                    return None;
+                }
+                Some(TraceEntry {
+                    arrival_s,
+                    prompt_len,
+                    output_len,
+                })
+            })();
+            entries.push(parsed.ok_or(TraceError::Parse { line: i + 1 })?);
+        }
+        Trace::new(entries)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(arrival_s: f64, prompt_len: usize, output_len: usize) -> TraceEntry {
+        TraceEntry {
+            arrival_s,
+            prompt_len,
+            output_len,
+        }
+    }
+
+    #[test]
+    fn validation_catches_each_defect() {
+        assert!(Trace::new(vec![entry(0.0, 8, 8), entry(1.5, 8, 8)]).is_ok());
+        assert_eq!(
+            Trace::new(vec![entry(-1.0, 8, 8)]),
+            Err(TraceError::BadArrival { idx: 0 })
+        );
+        assert_eq!(
+            Trace::new(vec![entry(0.0, 8, 8), entry(f64::NAN, 8, 8)]),
+            Err(TraceError::BadArrival { idx: 1 })
+        );
+        assert_eq!(
+            Trace::new(vec![entry(2.0, 8, 8), entry(1.0, 8, 8)]),
+            Err(TraceError::NonMonotone { idx: 1 })
+        );
+        match Trace::new(vec![entry(0.0, 0, 8)]) {
+            Err(TraceError::BadLength { idx: 0, .. }) => {}
+            other => panic!("expected BadLength, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn text_round_trip_is_exact() {
+        let t = Trace::new(vec![
+            entry(0.0, 17, 33),
+            entry(0.123456789012345, 64, 1),
+            entry(2.5e3, 511, 500),
+        ])
+        .unwrap();
+        let text = t.to_text();
+        let back = Trace::from_text(&text).unwrap();
+        assert_eq!(t, back);
+        assert_eq!(text, back.to_text());
+    }
+
+    #[test]
+    fn parse_errors_name_the_line() {
+        assert_eq!(
+            Trace::from_text("# header\n1.0 8 8\nnot a line\n"),
+            Err(TraceError::Parse { line: 3 })
+        );
+        assert_eq!(
+            Trace::from_text("1.0 8 8 9\n"),
+            Err(TraceError::Parse { line: 1 })
+        );
+    }
+
+    #[test]
+    fn rate_and_duration() {
+        let t = Trace::new(vec![entry(1.0, 8, 8), entry(2.0, 8, 8), entry(3.0, 8, 8)]).unwrap();
+        assert_eq!(t.duration(), 2.0);
+        assert_eq!(t.request_rate(), 1.0);
+        assert_eq!(t.total_output_tokens(), 24);
+        assert_eq!(Trace::new(vec![]).unwrap().request_rate(), 0.0);
+    }
+}

@@ -1,0 +1,63 @@
+//! Property-based tests of the arrival generators and trace codec.
+
+use alisa_serve::{ArrivalProcess, Trace};
+use alisa_workloads::LengthModel;
+use proptest::prelude::*;
+
+fn processes(rate: f64, aux: f64) -> Vec<ArrivalProcess> {
+    vec![
+        ArrivalProcess::Poisson { rate },
+        ArrivalProcess::Bursty {
+            rate,
+            burst: 2.0 + aux * 6.0,
+            on_frac: 0.2 + aux * 0.6,
+            period_s: 5.0 + aux * 20.0,
+        },
+        ArrivalProcess::ClosedLoop {
+            clients: 1 + (aux * 15.0) as usize,
+            think_s: 0.1 + aux * 3.0,
+        },
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every generator emits non-decreasing, finite, non-negative
+    /// timestamps, for any rate/shape/seed/size.
+    #[test]
+    fn arrival_timestamps_are_monotone(
+        rate in 0.1f64..50.0,
+        aux in 0.0f64..1.0,
+        n in 1usize..400,
+        seed in 0u64..1_000_000,
+    ) {
+        for p in processes(rate, aux) {
+            let ts = p.arrival_times(n, seed);
+            prop_assert_eq!(ts.len(), n, "{} must emit n stamps", p.name());
+            for w in ts.windows(2) {
+                prop_assert!(w[0] <= w[1], "{}: timestamps regressed", p.name());
+            }
+            for &t in &ts {
+                prop_assert!(t.is_finite() && t >= 0.0, "{}: bad stamp {t}", p.name());
+            }
+            // Determinism: same seed, same stream.
+            prop_assert_eq!(&ts, &p.arrival_times(n, seed));
+        }
+    }
+
+    /// Generated traces validate and survive the text codec exactly.
+    #[test]
+    fn generated_traces_round_trip(
+        rate in 0.2f64..20.0,
+        n in 1usize..120,
+        seed in 0u64..1_000_000,
+    ) {
+        let lengths = LengthModel::alpaca();
+        let trace = Trace::generate(&ArrivalProcess::Poisson { rate }, &lengths, n, seed);
+        prop_assert_eq!(trace.len(), n);
+        let back = Trace::from_text(&trace.to_text()).expect("round trip");
+        prop_assert_eq!(&trace, &back);
+        prop_assert_eq!(trace.to_text(), back.to_text());
+    }
+}

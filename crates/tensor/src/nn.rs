@@ -182,7 +182,12 @@ mod tests {
         let bias = vec![0.0; 4];
         let y = layernorm_rows(&x, &gain, &bias, 1e-5);
         let mean: f32 = y.row(0).iter().sum::<f32>() / 4.0;
-        let var: f32 = y.row(0).iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 4.0;
+        let var: f32 = y
+            .row(0)
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f32>()
+            / 4.0;
         assert!(mean.abs() < 1e-5);
         assert!((var - 1.0).abs() < 1e-3);
     }

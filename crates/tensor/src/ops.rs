@@ -75,13 +75,13 @@ pub fn matmul_bt(a: &Matrix, b: &Matrix) -> Result<Matrix> {
     for i in 0..m {
         let arow = a.row(i);
         let orow = out.row_mut(i);
-        for j in 0..n {
+        for (j, o) in orow.iter_mut().enumerate().take(n) {
             let brow = b.row(j);
             let mut acc = 0.0;
             for (x, y) in arow.iter().zip(brow) {
                 acc += x * y;
             }
-            orow[j] = acc;
+            *o = acc;
         }
     }
     Ok(out)
@@ -232,7 +232,13 @@ pub fn col_sums_range(m: &Matrix, lo: usize, hi: usize) -> Vec<f32> {
 pub fn row_means(m: &Matrix) -> Vec<f32> {
     row_sums(m)
         .into_iter()
-        .map(|s| if m.cols() == 0 { 0.0 } else { s / m.cols() as f32 })
+        .map(|s| {
+            if m.cols() == 0 {
+                0.0
+            } else {
+                s / m.cols() as f32
+            }
+        })
         .collect()
 }
 

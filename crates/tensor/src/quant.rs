@@ -144,7 +144,11 @@ pub fn quantize(m: &Matrix, bits: QuantBits) -> Result<QuantizedMatrix> {
             hi = 0.0;
         }
         let scale = if hi > lo { (hi - lo) / levels } else { 0.0 };
-        let zero_point = if scale > 0.0 { (-lo / scale).round() } else { 0.0 };
+        let zero_point = if scale > 0.0 {
+            (-lo / scale).round()
+        } else {
+            0.0
+        };
         params.push(ChannelParams { scale, zero_point });
     }
     let mut codes = Vec::with_capacity(m.len());
@@ -204,8 +208,8 @@ pub fn fake_quantize_row(row: &mut [f32], bits: QuantBits) {
         lo = lo.min(v);
         hi = hi.max(v);
     }
-    if !(hi > lo) {
-        return; // constant row stores exactly
+    if hi <= lo {
+        return; // constant (or empty/NaN) row stores exactly
     }
     let scale = (hi - lo) / levels;
     let zero_point = (-lo / scale).round();
@@ -348,7 +352,9 @@ mod tests {
 
     #[test]
     fn fake_quantize_int4_noisier_than_int8() {
-        let base: Vec<f32> = (0..32).map(|i| ((i * 37) % 17) as f32 * 0.173 - 1.3).collect();
+        let base: Vec<f32> = (0..32)
+            .map(|i| ((i * 37) % 17) as f32 * 0.173 - 1.3)
+            .collect();
         let err = |bits| {
             let mut r = base.clone();
             fake_quantize_row(&mut r, bits);

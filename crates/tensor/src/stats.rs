@@ -55,7 +55,11 @@ pub fn causal_attention_sparsity(aw: &Matrix, threshold_frac: f32, min_row_len: 
 /// Ranks with average tie-handling (rank 1 = smallest).
 fn ranks(values: &[f32]) -> Vec<f32> {
     let mut idx: Vec<usize> = (0..values.len()).collect();
-    idx.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).unwrap_or(std::cmp::Ordering::Equal));
+    idx.sort_by(|&a, &b| {
+        values[a]
+            .partial_cmp(&values[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     let mut out = vec![0.0f32; values.len()];
     let mut i = 0;
     while i < idx.len() {
@@ -193,8 +197,8 @@ mod tests {
     fn causal_sparsity_ignores_masked_region() {
         // Row 2 has weights [0.98, 0.001, 0.019] in the causal region.
         let aw = Matrix::from_rows(&[
-            vec![1.0, 9.0, 9.0],   // skipped: row len 1 < min_row_len 2
-            vec![0.5, 0.5, 9.0],   // dense: sparsity 0
+            vec![1.0, 9.0, 9.0], // skipped: row len 1 < min_row_len 2
+            vec![0.5, 0.5, 9.0], // dense: sparsity 0
             vec![0.98, 0.001, 0.019],
         ]);
         let s = causal_attention_sparsity(&aw, 0.01, 2);

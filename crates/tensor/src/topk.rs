@@ -32,7 +32,8 @@ pub fn top_k_indices(xs: &[f32], k: usize) -> Vec<usize> {
     let mut idx: Vec<usize> = (0..xs.len()).collect();
     // Sort by value descending; ties toward larger (more recent) index.
     idx.sort_by(|&a, &b| {
-        xs[b].partial_cmp(&xs[a])
+        xs[b]
+            .partial_cmp(&xs[a])
             .unwrap_or(std::cmp::Ordering::Equal)
             .then(b.cmp(&a))
     });
@@ -53,7 +54,8 @@ pub fn top_k_indices_within(xs: &[f32], candidates: &[usize], k: usize) -> Vec<u
     }
     let mut cand: Vec<usize> = candidates.to_vec();
     cand.sort_by(|&a, &b| {
-        xs[b].partial_cmp(&xs[a])
+        xs[b]
+            .partial_cmp(&xs[a])
             .unwrap_or(std::cmp::Ordering::Equal)
             .then(b.cmp(&a))
     });
@@ -67,7 +69,8 @@ pub fn top_k_indices_within(xs: &[f32], candidates: &[usize], k: usize) -> Vec<u
 pub fn argsort_desc(xs: &[f32]) -> Vec<usize> {
     let mut idx: Vec<usize> = (0..xs.len()).collect();
     idx.sort_by(|&a, &b| {
-        xs[b].partial_cmp(&xs[a])
+        xs[b]
+            .partial_cmp(&xs[a])
             .unwrap_or(std::cmp::Ordering::Equal)
             .then(b.cmp(&a))
     });

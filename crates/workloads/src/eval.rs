@@ -233,7 +233,11 @@ mod tests {
         );
         // Local attention with a tight window must actually fail on
         // distant facts (the test question asks about the first fact).
-        assert!(local.accuracy < 0.9, "local {} suspiciously high", local.accuracy);
+        assert!(
+            local.accuracy < 0.9,
+            "local {} suspiciously high",
+            local.accuracy
+        );
     }
 
     #[test]

@@ -18,7 +18,9 @@
 pub mod corpus;
 pub mod eval;
 pub mod qa;
+pub mod serving;
 
 pub use corpus::{CorpusSpec, Dataset};
 pub use eval::{evaluate_lm, evaluate_qa, LmResult, QaResult};
 pub use qa::{QaEpisode, QaSpec, QaTask};
+pub use serving::LengthModel;

@@ -145,12 +145,7 @@ impl QaSpec {
             }
         }
         // Worked examples: query + correct answer (teacher-forced shots).
-        let shot_keys: Vec<usize> = facts
-            .iter()
-            .copied()
-            .cycle()
-            .take(self.shots)
-            .collect();
+        let shot_keys: Vec<usize> = facts.iter().copied().cycle().take(self.shots).collect();
         for &k in &shot_keys {
             prompt.push(v.query(k));
             prompt.push(v.value(model.answer(k)));
@@ -202,7 +197,10 @@ mod tests {
         // Prompt ends with a query token.
         let last = *ep.prompt.last().unwrap();
         let v = m.vocab();
-        assert!((v.n_keys..2 * v.n_keys).contains(&last), "must end in a query");
+        assert!(
+            (v.n_keys..2 * v.n_keys).contains(&last),
+            "must end in a query"
+        );
     }
 
     #[test]

@@ -1,0 +1,206 @@
+//! Request-length models for online serving traces.
+//!
+//! The offline evaluation fixes `(s, n)` per workload; online serving
+//! needs *distributions*. [`LengthModel`] samples per-request prompt and
+//! output lengths from a clamped log-normal whose parameters are tied to
+//! an evaluation dataset, and modulates the output length by the topic
+//! complexity of the corresponding synthetic document: corpus documents
+//! that hammer their topic anchors harder stand in for instructions
+//! demanding longer answers (the Alpaca-style instruction/response
+//! shape the paper's §VI-A serving workload is sampled from).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::corpus::{CorpusSpec, Dataset};
+
+/// Samples `(prompt_len, output_len)` pairs for serving traces.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LengthModel {
+    /// Corpus whose documents modulate per-request output length.
+    pub corpus: CorpusSpec,
+    /// Median prompt length in tokens.
+    pub prompt_median: f64,
+    /// Log-normal sigma of the prompt length.
+    pub prompt_sigma: f64,
+    /// Median output length in tokens.
+    pub output_median: f64,
+    /// Log-normal sigma of the output length.
+    pub output_sigma: f64,
+    /// Hard floor on prompt length.
+    pub min_prompt: usize,
+    /// Hard floor on output length.
+    pub min_output: usize,
+    /// Hard cap on prompt length.
+    pub max_prompt: usize,
+    /// Hard cap on output length.
+    pub max_output: usize,
+}
+
+impl LengthModel {
+    /// Length model for a dataset preset. Alpaca mirrors the paper's
+    /// serving workload (`s = 128`, `n = 512` at the medians' scale);
+    /// the LM datasets skew longer-prompt/shorter-answer.
+    pub fn for_dataset(dataset: Dataset) -> Self {
+        let corpus = dataset.spec(4096, 64);
+        match dataset {
+            Dataset::Alpaca => LengthModel {
+                corpus,
+                prompt_median: 128.0,
+                prompt_sigma: 0.45,
+                output_median: 256.0,
+                output_sigma: 0.55,
+                min_prompt: 16,
+                min_output: 16,
+                max_prompt: 512,
+                max_output: 512,
+            },
+            Dataset::WikiText2 | Dataset::PennTreebank => LengthModel {
+                corpus,
+                prompt_median: 256.0,
+                prompt_sigma: 0.5,
+                output_median: 128.0,
+                output_sigma: 0.5,
+                min_prompt: 16,
+                min_output: 16,
+                max_prompt: 768,
+                max_output: 384,
+            },
+        }
+    }
+
+    /// The paper's serving workload shape (Alpaca-style).
+    pub fn alpaca() -> Self {
+        Self::for_dataset(Dataset::Alpaca)
+    }
+
+    /// Scales the output-length cap (e.g. to keep smoke tests fast).
+    /// A cap below the output floor lowers that floor with it, so the
+    /// clamp in [`LengthModel::sample`] stays well-formed; the prompt
+    /// floor is untouched.
+    pub fn with_max_output(mut self, max_output: usize) -> Self {
+        assert!(max_output > 0, "max_output must be positive");
+        self.max_output = max_output;
+        self.min_output = self.min_output.min(max_output);
+        self.output_median = self.output_median.min(max_output as f64 / 2.0);
+        self
+    }
+
+    /// Samples the `(prompt_len, output_len)` of request `idx`,
+    /// deterministic per `(seed, idx)`.
+    pub fn sample(&self, idx: usize, seed: u64) -> (usize, usize) {
+        let mut rng = StdRng::seed_from_u64(
+            seed ^ (idx as u64).wrapping_mul(0x9E3779B97F4A7C15) ^ self.corpus.seed,
+        );
+        let prompt = self.lognormal(&mut rng, self.prompt_median, self.prompt_sigma);
+        // Topic complexity of this request's document: anchor-dense
+        // documents (lots of entity recurrence) ask for longer answers.
+        let probe = self.corpus.sequence(idx, 48);
+        let anchor_hits = probe
+            .iter()
+            .filter(|&&t| t < self.corpus.anchor_count)
+            .count();
+        let complexity = 0.75 + 1.0 * anchor_hits as f64 / probe.len() as f64;
+        let output = self.lognormal(&mut rng, self.output_median * complexity, self.output_sigma);
+        (
+            (prompt.round() as usize).clamp(self.min_prompt, self.max_prompt),
+            (output.round() as usize).clamp(self.min_output, self.max_output),
+        )
+    }
+
+    /// Log-normal draw by Box–Muller over the stub RNG's uniform bits.
+    fn lognormal(&self, rng: &mut StdRng, median: f64, sigma: f64) -> f64 {
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        median * (sigma * z).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampling_is_deterministic_and_bounded() {
+        let m = LengthModel::alpaca();
+        for idx in 0..200 {
+            let (p1, n1) = m.sample(idx, 42);
+            let (p2, n2) = m.sample(idx, 42);
+            assert_eq!((p1, n1), (p2, n2));
+            assert!((m.min_prompt..=m.max_prompt).contains(&p1));
+            assert!((m.min_output..=m.max_output).contains(&n1));
+        }
+        assert_ne!(m.sample(0, 42), m.sample(0, 43), "seed must matter");
+    }
+
+    #[test]
+    fn medians_land_near_target() {
+        let m = LengthModel::alpaca();
+        let mut prompts: Vec<usize> = (0..500).map(|i| m.sample(i, 7).0).collect();
+        prompts.sort_unstable();
+        let median = prompts[prompts.len() / 2] as f64;
+        assert!(
+            (median - m.prompt_median).abs() < m.prompt_median * 0.4,
+            "median prompt {median} too far from {}",
+            m.prompt_median
+        );
+    }
+
+    #[test]
+    fn anchor_dense_documents_answer_longer() {
+        // Aggregate effect: the top quartile of anchor-dense documents
+        // must skew to longer outputs than the bottom quartile.
+        let m = LengthModel::alpaca();
+        let mut by_density: Vec<(usize, usize)> = (0..400)
+            .map(|i| {
+                let probe = m.corpus.sequence(i, 48);
+                let hits = probe.iter().filter(|&&t| t < m.corpus.anchor_count).count();
+                (hits, m.sample(i, 11).1)
+            })
+            .collect();
+        by_density.sort_unstable();
+        let lo: f64 = by_density[..100]
+            .iter()
+            .map(|&(_, n)| n as f64)
+            .sum::<f64>()
+            / 100.0;
+        let hi: f64 = by_density[300..]
+            .iter()
+            .map(|&(_, n)| n as f64)
+            .sum::<f64>()
+            / 100.0;
+        assert!(
+            hi > lo,
+            "anchor-dense docs ({hi:.0}) must out-answer sparse ones ({lo:.0})"
+        );
+    }
+
+    #[test]
+    fn shrunk_cap_shrinks_outputs() {
+        let m = LengthModel::alpaca().with_max_output(64);
+        for idx in 0..100 {
+            assert!(m.sample(idx, 1).1 <= 64);
+        }
+    }
+
+    #[test]
+    fn cap_below_floor_lowers_only_the_output_floor() {
+        // A cap under the output floor must not arm a clamp panic in
+        // sample(), and must not disturb the prompt distribution.
+        let m = LengthModel::alpaca().with_max_output(8);
+        assert_eq!(m.min_prompt, 16, "prompt floor untouched");
+        for idx in 0..50 {
+            let (p, n) = m.sample(idx, 3);
+            assert!(n <= 8);
+            assert!(p >= m.min_prompt);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "max_output")]
+    fn zero_cap_rejected() {
+        let _ = LengthModel::alpaca().with_max_output(0);
+    }
+}

@@ -35,7 +35,12 @@ fn main() {
     );
 
     for sparsity in [0.0f32, 0.5, 0.8] {
-        for kind in [PolicyKind::Dense, PolicyKind::Swa, PolicyKind::H2o, PolicyKind::Local] {
+        for kind in [
+            PolicyKind::Dense,
+            PolicyKind::Swa,
+            PolicyKind::H2o,
+            PolicyKind::Local,
+        ] {
             if kind == PolicyKind::Dense && sparsity > 0.0 {
                 continue;
             }

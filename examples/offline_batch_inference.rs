@@ -73,7 +73,10 @@ fn main() {
     );
 
     // And with INT8 KV compression on top (full ALISA):
-    let full = Alisa::builder().kv_sparsity(0.7).kv_compression(true).build();
+    let full = Alisa::builder()
+        .kv_sparsity(0.7)
+        .kv_compression(true)
+        .build();
     let prompt = corpus.sequence(0, prompt_len);
     let gen = generate(
         &model,

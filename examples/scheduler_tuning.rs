@@ -41,12 +41,42 @@ fn main() {
     println!("\nknob sweep on {wl}:");
     println!("{:<40} {:>12}", "plan", "time (s)");
     for (label, plan) in [
-        ("eager offload (a=0.5), no recompute", Plan { alpha: 0.5, beta: 0.0, p2_frac: 2.0 }),
-        ("lazy offload (a=0.95), no recompute", Plan { alpha: 0.95, beta: 0.0, p2_frac: 2.0 }),
-        ("lazy + recompute half (b=0.5, p2=0.75)", Plan { alpha: 0.95, beta: 0.5, p2_frac: 0.75 }),
-        ("lazy + aggressive recompute (b=0.8)", Plan { alpha: 0.95, beta: 0.8, p2_frac: 0.5 }),
+        (
+            "eager offload (a=0.5), no recompute",
+            Plan {
+                alpha: 0.5,
+                beta: 0.0,
+                p2_frac: 2.0,
+            },
+        ),
+        (
+            "lazy offload (a=0.95), no recompute",
+            Plan {
+                alpha: 0.95,
+                beta: 0.0,
+                p2_frac: 2.0,
+            },
+        ),
+        (
+            "lazy + recompute half (b=0.5, p2=0.75)",
+            Plan {
+                alpha: 0.95,
+                beta: 0.5,
+                p2_frac: 0.75,
+            },
+        ),
+        (
+            "lazy + aggressive recompute (b=0.8)",
+            Plan {
+                alpha: 0.95,
+                beta: 0.8,
+                p2_frac: 0.5,
+            },
+        ),
     ] {
-        let r = AlisaScheduler::new(0.8, true).with_plan(plan).run(&model, &hw, &wl);
+        let r = AlisaScheduler::new(0.8, true)
+            .with_plan(plan)
+            .run(&model, &hw, &wl);
         let t = if r.outcome.is_completed() {
             format!("{:.1}", r.total_time())
         } else {

@@ -1,0 +1,6 @@
+//! Workspace façade package. The real API lives in the member crates —
+//! start at [`alisa`] (crate `alisa-core`). This stub library exists so
+//! the root package can host the workspace-level `examples/` and
+//! `tests/` directories.
+
+pub use alisa;

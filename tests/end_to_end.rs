@@ -35,14 +35,19 @@ fn functional_generation_under_every_policy() {
 
 #[test]
 fn simulation_and_functional_paths_share_configuration() {
-    let alisa = Alisa::builder().kv_sparsity(0.8).kv_compression(true).build();
+    let alisa = Alisa::builder()
+        .kv_sparsity(0.8)
+        .kv_compression(true)
+        .build();
     // Performance path.
     let report = alisa.simulate(&ModelConfig::opt_6_7b(), &Workload::new(8, 64, 32));
     assert!(report.outcome.is_completed());
     // Functional path under the same configuration.
     let model = alisa.functional_model(&ModelConfig::opt_6_7b());
     let cfg = alisa.generation_config();
-    let tokens: Vec<usize> = (0..48).map(|i| (i * 7) % model.config().vocab_size).collect();
+    let tokens: Vec<usize> = (0..48)
+        .map(|i| (i * 7) % model.config().vocab_size)
+        .collect();
     let score = score_sequence(&model, &tokens, 1, &cfg);
     assert!(score.perplexity().is_finite());
 }
@@ -62,7 +67,12 @@ fn ablation_levels_are_ordered_on_heavy_workloads() {
             .ablation(level)
             .build();
         let r = a.simulate(&model, &wl);
-        assert!(r.outcome.is_completed(), "{}: {}", level.label(), r.summary());
+        assert!(
+            r.outcome.is_completed(),
+            "{}: {}",
+            level.label(),
+            r.summary()
+        );
         throughputs.push(r.throughput());
     }
     assert!(

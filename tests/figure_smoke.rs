@@ -76,3 +76,8 @@ fn fig10_attainable_sparsity_runs() {
 fn fig12_breakdown_runs() {
     run_quick("fig12_inference_breakdown");
 }
+
+#[test]
+fn fig13_online_serving_runs() {
+    run_quick("fig13_online_serving");
+}

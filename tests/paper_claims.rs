@@ -34,7 +34,11 @@ fn claim_attention_is_sparse_and_scales() {
             / model.config().num_layers as f32;
         means.push(mean);
     }
-    assert!(means[0] > 0.7, "6.7B-scale sparsity {:.2} too low", means[0]);
+    assert!(
+        means[0] > 0.7,
+        "6.7B-scale sparsity {:.2} too low",
+        means[0]
+    );
     assert!(
         means[1] > means[0],
         "30B-scale must be sparser: {:.2} vs {:.2}",
@@ -142,7 +146,9 @@ fn claim_recomputation_pays_off() {
     let hw = HardwareSpec::h100_80gb();
     let wl = Workload::new(64, 128, 256);
     let on = AlisaScheduler::new(0.4, true).run(&model, &hw, &wl);
-    let off = AlisaScheduler::new(0.4, true).without_recompute().run(&model, &hw, &wl);
+    let off = AlisaScheduler::new(0.4, true)
+        .without_recompute()
+        .run(&model, &hw, &wl);
     assert!(on.outcome.is_completed() && off.outcome.is_completed());
     assert!(
         on.total_time() < off.total_time(),

@@ -1,0 +1,17 @@
+//! Offline stand-in for `serde`.
+//!
+//! Provides the `Serialize`/`Deserialize` names (traits and derive
+//! macros) so code written against the real serde compiles unchanged in
+//! this hermetic workspace. No runtime serialization is provided — the
+//! repository's on-disk formats (e.g. `alisa_serve::Trace`) use explicit
+//! hand-written text codecs instead, which also gives byte-stable
+//! reports for determinism tests.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`. The stub derive does not
+/// implement it; nothing in this workspace bounds on it.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de> {}

@@ -1,0 +1,25 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! This workspace builds in a hermetic environment with no registry
+//! access, and nothing in it performs runtime serde serialization — the
+//! derives only need to *parse* so the annotated types stay
+//! source-compatible with the real serde. Each derive therefore expands
+//! to nothing. Swapping in the real `serde`/`serde_derive` requires no
+//! source changes: delete the `vendor/` entries from the workspace
+//! manifest and point the workspace dependencies at crates.io.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` (including `#[serde(...)]` helper
+/// attributes) and generates no code.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` (including `#[serde(...)]` helper
+/// attributes) and generates no code.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
