@@ -9,13 +9,13 @@
 //!
 //! * [`policy::DensePolicy`] — keep everything (exact attention),
 //! * [`policy::LocalPolicy`] — sliding window over recent tokens
-//!   (Longformer [3]),
-//! * [`policy::StridedPolicy`] — fixed-stride mask (SparseTransformer [8]),
+//!   (Longformer \[3\]),
+//! * [`policy::StridedPolicy`] — fixed-stride mask (SparseTransformer \[8\]),
 //! * [`policy::SwaPolicy`] — **ALISA's Sparse Window Attention**
 //!   (Algorithm 1): half the budget on the most recent tokens, half on
 //!   the tokens with the largest *local* attention sum,
 //! * [`policy::H2oPolicy`] — heavy hitters by *global* attention sum
-//!   (H2O [43]), the closest prior work.
+//!   (H2O \[43\]), the closest prior work.
 //!
 //! [`kernels`] computes masked single-head attention and [`metrics`]
 //! scores a policy's fidelity against dense attention (Spearman ρ of the

@@ -89,7 +89,7 @@ impl AttentionHistory {
     }
 
     /// Accumulated attention per position since the beginning — the
-    /// H2O [43] criterion the paper contrasts with its local sum.
+    /// H2O \[43\] criterion the paper contrasts with its local sum.
     pub fn global_sums(&self) -> &[f32] {
         &self.global_sums
     }
@@ -209,7 +209,7 @@ impl SparsityPolicy for DensePolicy {
     }
 }
 
-/// Longformer-style local attention [3]: keep only the most recent
+/// Longformer-style local attention \[3\]: keep only the most recent
 /// `budget` tokens (a fixed-size sliding window).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct LocalPolicy;
@@ -226,7 +226,7 @@ impl SparsityPolicy for LocalPolicy {
     }
 }
 
-/// SparseTransformer-style strided attention [8]: keep every `stride`-th
+/// SparseTransformer-style strided attention \[8\]: keep every `stride`-th
 /// token counting back from the current position, up to the budget.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StridedPolicy {
@@ -355,7 +355,7 @@ impl SparsityPolicy for SwaPolicy {
     }
 }
 
-/// H2O-style heavy-hitter selection [43]: same local window, but the
+/// H2O-style heavy-hitter selection \[43\]: same local window, but the
 /// dynamic tokens are ranked by the **global** attention sum accumulated
 /// since step 0. The paper (§II-B) contrasts this directly with SWA's
 /// local sum; globally accumulated mass favours early tokens and decays

@@ -5,7 +5,7 @@
 //!    selection (0.0) to pure recency (1.0).
 //! 2. **History depth** — how many preceding steps feed the local
 //!    attention sum (the paper's "multiple preceding steps" hypothesis).
-//! 3. **INT8 vs INT4 KV compression** — the paper cites [14] for OPT
+//! 3. **INT8 vs INT4 KV compression** — the paper cites \[14\] for OPT
 //!    surviving INT4; we measure both accuracy and traffic.
 //! 4. **Offload-order quality vs the Belady oracle** — §III-C cites
 //!    Belady as the impractical optimum; we measure how close ALISA's

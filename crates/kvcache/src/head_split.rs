@@ -1,7 +1,7 @@
 //! Head-level static split — the FlexGen substrate (Table I:
 //! "Head-level (static)", Figure 7(a)).
 //!
-//! FlexGen [31] solves an offline linear program once and then keeps a
+//! FlexGen \[31\] solves an offline linear program once and then keeps a
 //! *fixed percentage* of every token's KV tensor on the GPU (split along
 //! the head dimension) for the entire run. The CPU-resident fraction of
 //! **every cached token** must stream across the link at **every**

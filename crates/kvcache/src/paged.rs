@@ -1,7 +1,7 @@
 //! Block-level paged KV storage — the vLLM substrate (Table I:
 //! "Block-level (static)").
 //!
-//! vLLM [21] stores KV tensors in fixed-size blocks of tokens inside
+//! vLLM \[21\] stores KV tensors in fixed-size blocks of tokens inside
 //! non-contiguous paged memory, swapping *whole blocks* between GPU and
 //! CPU. Block granularity removes external fragmentation (its design
 //! goal) but couples placement decisions across the tokens sharing a

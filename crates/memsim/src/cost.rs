@@ -61,7 +61,7 @@ impl CostModel {
 
     /// GEMM utilization in `(0, 1]` as a smooth function of op size.
     ///
-    /// `u = f / (f + F₀)` where `F₀` = [`GEMM_SATURATION_FLOPS`]: a
+    /// `u = f / (f + F₀)` where `F₀` = `GEMM_SATURATION_FLOPS`: a
     /// 2·10⁹-FLOP op runs at 50% of peak, a 100× larger one at ~99%, a
     /// 100× smaller one at ~1% — matching the order-of-magnitude FLOPS
     /// collapse Figure 11 reports for sparse-gathered `QKᵀ`.
@@ -142,6 +142,20 @@ impl CostModel {
     /// element-wise, so bandwidth-bound.
     pub fn quantize_time(&self, bytes: u64) -> f64 {
         self.vector_op_time(bytes)
+    }
+
+    /// Time to hand a KV working set from one replica's HBM to
+    /// another's. Single-GPU testbeds have no peer-to-peer fabric, so
+    /// the transfer stages through host DRAM: a device-to-host leg, a
+    /// CPU repack of the token rows, and a host-to-device leg — each
+    /// link leg paying [`CostModel::transfer_time`]'s latency floor.
+    /// Zero bytes cost nothing.
+    pub fn replica_transfer_time(&self, bytes: u64) -> f64 {
+        if bytes == 0 {
+            0.0
+        } else {
+            2.0 * self.transfer_time(bytes) + self.cpu_pack_time(bytes)
+        }
     }
 
     /// The link bandwidth in bytes/second (exposed for Eq. 3's `B`).
@@ -258,5 +272,17 @@ mod tests {
     fn quantize_time_matches_vector_cost() {
         let m = model();
         assert_eq!(m.quantize_time(1024), m.vector_op_time(1024));
+    }
+
+    #[test]
+    fn replica_transfer_stages_through_host() {
+        let m = model();
+        assert_eq!(m.replica_transfer_time(0), 0.0);
+        let bytes = 1u64 << 30;
+        let t = m.replica_transfer_time(bytes);
+        // Two link legs plus the host repack — strictly more than a
+        // single direct transfer, with both latency floors included.
+        assert!(t > 2.0 * m.transfer_time(bytes));
+        assert!((t - (2.0 * m.transfer_time(bytes) + m.cpu_pack_time(bytes))).abs() < 1e-15);
     }
 }

@@ -10,11 +10,11 @@ use serde::{Deserialize, Serialize};
 /// Which published model family a configuration describes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum ModelFamily {
-    /// Meta's OPT family [42].
+    /// Meta's OPT family \[42\].
     Opt,
-    /// Meta's LLaMA family [34].
+    /// Meta's LLaMA family \[34\].
     Llama,
-    /// EleutherAI's Pythia family [4].
+    /// EleutherAI's Pythia family \[4\].
     Pythia,
     /// Laptop-scale functional models used for accuracy experiments.
     Synthetic,

@@ -1,6 +1,6 @@
 //! HuggingFace Accelerate simulator (paper §VI-A baseline).
 //!
-//! Accelerate [39] "supports offloading the whole KV tensors to the CPU
+//! Accelerate \[39\] "supports offloading the whole KV tensors to the CPU
 //! memory": either everything fits on the GPU, or the *entire* KV cache
 //! lives host-side and every step's attention walks all of it over CPU
 //! DRAM — the 100%-CPU case of Figure 1 (≈5× slowdown).

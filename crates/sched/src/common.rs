@@ -70,6 +70,12 @@ pub trait StepExecutor {
 
     /// GPU-side quantize/dequantize time for `bytes` of KV data.
     fn quant_time(&self, bytes: u64) -> f64;
+
+    /// Time to hand `bytes` of KV state from one replica's HBM to
+    /// another's, staged through host DRAM (device-to-host leg, CPU
+    /// repack, host-to-device leg). Prefill/decode disaggregation in
+    /// `alisa-serve` charges completed-prompt handoffs through this.
+    fn handoff_time(&self, bytes: u64) -> f64;
 }
 
 /// Mutable simulation state shared by all system simulators: the cost
@@ -250,6 +256,10 @@ impl StepExecutor for SimBase {
     fn quant_time(&self, bytes: u64) -> f64 {
         self.cost.quantize_time(bytes)
     }
+
+    fn handoff_time(&self, bytes: u64) -> f64 {
+        self.cost.replica_transfer_time(bytes)
+    }
 }
 
 /// Deterministic 64-bit mix (splitmix64 finalizer) for synthetic access
@@ -375,6 +385,10 @@ mod tests {
             b.cost.cpu_pack_time(1 << 20)
         );
         assert_eq!(exec.quant_time(1 << 20), b.cost.quantize_time(1 << 20));
+        assert_eq!(
+            exec.handoff_time(1 << 20),
+            b.cost.replica_transfer_time(1 << 20)
+        );
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! DeepSpeed-ZeRO inference simulator (paper §VI-A baseline).
 //!
-//! DeepSpeed-ZeRO [1] "performs offloading weights instead of
+//! DeepSpeed-ZeRO \[1\] "performs offloading weights instead of
 //! intermediate KV tensors": parameters live in host DRAM and stream
 //! through the GPU layer-by-layer every step, while the KV cache stays
 //! GPU-resident. Weight streaming makes every step pay

@@ -1,7 +1,7 @@
 //! FlexGen simulator: static head-level KV split solved offline
 //! (paper §II-B, Figure 7(a), baseline of Figures 9 and 12).
 //!
-//! FlexGen [31] picks one GPU/CPU split for KV tensors before the run
+//! FlexGen \[31\] picks one GPU/CPU split for KV tensors before the run
 //! (its offline linear program) and keeps it for every step. The
 //! CPU-resident share is processed by *CPU-delegated attention* — the
 //! score computation runs host-side over DRAM instead of streaming KV

@@ -1,7 +1,7 @@
 //! vLLM simulator: paged block-level KV with continuous wave batching
 //! (paper §II-B, Table I, baseline of Figure 9).
 //!
-//! vLLM [21] allocates KV in fixed-token blocks of paged GPU memory and
+//! vLLM \[21\] allocates KV in fixed-token blocks of paged GPU memory and
 //! admits as many sequences as fit; the rest wait and are admitted when
 //! memory frees (continuous batching with preemption). For the paper's
 //! offline single-model workload that behaviour collapses to *waves*:

@@ -30,6 +30,26 @@ const ALISA_RELOAD_FRAC: f64 = 0.02;
 const ALISA_MARGIN_TOKENS: u64 = 4;
 
 /// How a serving system accounts and admits KV memory.
+///
+/// The three constructors give the paper's evaluated configurations;
+/// the enum variants stay public so sweeps can explore other operating
+/// points. ALISA's sparse reservation is the whole game — the same
+/// request costs it a fraction of what dense paged booking charges:
+///
+/// ```
+/// use alisa_model::ModelConfig;
+/// use alisa_serve::AdmissionPolicy;
+///
+/// let model = ModelConfig::opt_6_7b();
+/// let dense = AdmissionPolicy::vllm().gpu_kv_bytes(&model, 640);
+/// let sparse = AdmissionPolicy::alisa().gpu_kv_bytes(&model, 640);
+/// assert!((sparse as f64) < 0.3 * dense as f64);
+///
+/// // Custom operating point: 90% sparsity, no INT8 link compression.
+/// let aggressive = AdmissionPolicy::Alisa { sparsity: 0.9, compression: false };
+/// assert!(aggressive.gpu_kv_bytes(&model, 640) < sparse);
+/// assert_eq!(aggressive.name(), "ALISA");
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum AdmissionPolicy {
     /// ALISA: sparsity-aware budgeting (§V-A applied to admission).

@@ -15,6 +15,21 @@ use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 /// A stochastic arrival process (fully determined by a seed).
+///
+/// ```
+/// use alisa_serve::ArrivalProcess;
+///
+/// let poisson = ArrivalProcess::Poisson { rate: 4.0 };
+/// let times = poisson.arrival_times(100, 42);
+/// assert_eq!(times.len(), 100);
+/// assert!(times.windows(2).all(|w| w[0] <= w[1]), "non-decreasing");
+/// assert_eq!(times, poisson.arrival_times(100, 42), "seeded == replayable");
+///
+/// let bursty = ArrivalProcess::Bursty { rate: 4.0, burst: 8.0, on_frac: 0.25, period_s: 10.0 };
+/// assert_eq!(bursty.name(), "bursty");
+/// assert!(!bursty.is_closed_loop());
+/// assert!(ArrivalProcess::ClosedLoop { clients: 8, think_s: 1.0 }.is_closed_loop());
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum ArrivalProcess {
     /// Memoryless arrivals at `rate` requests/second.

@@ -21,6 +21,10 @@
 //!   concurrent batch from the same HBM,
 //! * [`engine`] — the continuous-batching loop with FCFS admission,
 //!   queue timeouts, and closed-loop gating,
+//! * [`router`] — the multi-replica layer: a shared [`Router`] over N
+//!   replica engines with pluggable load balancing, replica-local
+//!   admission, optional cross-replica re-queue, and prefill/decode
+//!   disaggregation with cost-modelled KV handoffs,
 //! * [`metrics`] — TTFT/TBT/E2E percentiles, goodput under an SLO, and
 //!   queue/KV timelines in a [`ServeReport`] (the online counterpart of
 //!   `alisa_sched::RunReport`).
@@ -49,11 +53,14 @@
 //! assert!(report.throughput_tps > 0.0);
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod admission;
 pub mod arrivals;
 pub mod engine;
 pub mod metrics;
 pub mod request;
+pub mod router;
 pub mod trace;
 
 pub use admission::AdmissionPolicy;
@@ -61,4 +68,5 @@ pub use arrivals::ArrivalProcess;
 pub use engine::{derived_slo, ClosedLoopCfg, ServeConfig, ServeEngine};
 pub use metrics::{LatencyStats, ServeReport, ServeSample, SloSpec};
 pub use request::{RejectReason, Request, RequestState};
+pub use router::{DisaggCfg, LoadBalancePolicy, Router, RouterConfig, RouterReport};
 pub use trace::{Trace, TraceEntry, TraceError};

@@ -2,7 +2,7 @@
 //!
 //! ALISA quantizes KV tensors to INT8 *in memory* and dequantizes back to
 //! the working precision for computation, purely to shrink the bytes that
-//! cross the CPU–GPU link. Following [9] in the paper, quantization is
+//! cross the CPU–GPU link. Following \[9\] in the paper, quantization is
 //! **channel-wise**: each column (hidden channel) of a KV matrix gets its
 //! own scale `λ = (max − min) / (2ᵇ − 1)` and zero point `z`, which is far
 //! more robust to per-channel outliers than a single tensor-wide scale.
@@ -20,7 +20,7 @@ use crate::{Matrix, Result, TensorError};
 
 /// Number of bits used to store each quantized KV element.
 ///
-/// The paper evaluates INT8 (its default, §V-B) and cites [14] for OPT
+/// The paper evaluates INT8 (its default, §V-B) and cites \[14\] for OPT
 /// remaining accurate down to INT4, which we expose as an extension.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum QuantBits {

@@ -81,3 +81,8 @@ fn fig12_breakdown_runs() {
 fn fig13_online_serving_runs() {
     run_quick("fig13_online_serving");
 }
+
+#[test]
+fn fig14_multi_replica_runs() {
+    run_quick("fig14_multi_replica");
+}

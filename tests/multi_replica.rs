@@ -1,0 +1,212 @@
+//! Integration tests of the multi-replica router: byte-level
+//! determinism per load-balancing policy, request conservation across
+//! the fleet, single-replica equivalence with the plain engine, and the
+//! scaling/disaggregation behaviour `fig14_multi_replica` gates on.
+
+use alisa_memsim::HardwareSpec;
+use alisa_model::ModelConfig;
+use alisa_serve::{
+    AdmissionPolicy, ArrivalProcess, LoadBalancePolicy, Router, RouterConfig, ServeConfig,
+    ServeEngine, Trace,
+};
+use alisa_workloads::LengthModel;
+
+fn replica_cfg(policy: AdmissionPolicy) -> ServeConfig {
+    ServeConfig::new(ModelConfig::opt_6_7b(), HardwareSpec::v100_16gb(), policy)
+}
+
+fn alpaca_trace(rate: f64, n: usize, seed: u64) -> Trace {
+    Trace::generate(
+        &ArrivalProcess::Poisson { rate },
+        &LengthModel::alpaca().with_max_output(96),
+        n,
+        seed,
+    )
+}
+
+const ALL_LBS: [LoadBalancePolicy; 4] = [
+    LoadBalancePolicy::RoundRobin,
+    LoadBalancePolicy::LeastOutstanding,
+    LoadBalancePolicy::LeastKvPressure,
+    LoadBalancePolicy::Sticky { sessions: 8 },
+];
+
+/// Byte-identical `RouterReport`s (hence `ServeReport`s, fleet and
+/// per-replica) across runs at a fixed seed, for every load-balancing
+/// policy — with and without requeue and disaggregation.
+#[test]
+fn router_reports_are_byte_identical_per_seed() {
+    for lb in ALL_LBS {
+        for (requeue, disagg) in [(false, false), (true, false), (false, true)] {
+            let run = || {
+                let trace = alpaca_trace(5.0, 60, 0x5EED);
+                let mut cfg =
+                    RouterConfig::homogeneous(replica_cfg(AdmissionPolicy::alisa()), 3).with_lb(lb);
+                if requeue {
+                    cfg = cfg.with_requeue();
+                }
+                if disagg {
+                    cfg = cfg.with_disagg(1);
+                }
+                Router::new(cfg).run(&trace)
+            };
+            let (a, b) = (run(), run());
+            assert_eq!(
+                a,
+                b,
+                "{} requeue={requeue} disagg={disagg}: reports must be equal",
+                lb.name()
+            );
+            assert_eq!(
+                a.canonical_text().into_bytes(),
+                b.canonical_text().into_bytes(),
+                "{} requeue={requeue} disagg={disagg}: canonical text must be byte-identical",
+                lb.name()
+            );
+        }
+        // A different seed must actually change the outcome.
+        let r1 = Router::new(
+            RouterConfig::homogeneous(replica_cfg(AdmissionPolicy::alisa()), 3).with_lb(lb),
+        )
+        .run(&alpaca_trace(5.0, 60, 1));
+        let r2 = Router::new(
+            RouterConfig::homogeneous(replica_cfg(AdmissionPolicy::alisa()), 3).with_lb(lb),
+        )
+        .run(&alpaca_trace(5.0, 60, 2));
+        assert_ne!(r1.canonical_text(), r2.canonical_text(), "{}", lb.name());
+    }
+}
+
+/// Invariant: total admitted + rejected across replicas equals the
+/// offered load, for every policy, under light load and overload, with
+/// and without requeue/disaggregation.
+#[test]
+fn fleet_admission_accounting_conserves_offered_load() {
+    for lb in ALL_LBS {
+        for (rate, timeout) in [(2.0, f64::INFINITY), (50.0, 1.0)] {
+            for (requeue, disagg) in [(false, false), (true, false), (true, true)] {
+                let trace = alpaca_trace(rate, 70, 7);
+                let base = replica_cfg(AdmissionPolicy::vllm()).with_queue_timeout(timeout);
+                let mut cfg = RouterConfig::homogeneous(base, 3).with_lb(lb);
+                if requeue {
+                    cfg = cfg.with_requeue();
+                }
+                if disagg {
+                    cfg = cfg.with_disagg(1);
+                }
+                let r = Router::new(cfg).run(&trace);
+                let ctx = format!(
+                    "{} rate={rate} requeue={requeue} disagg={disagg}",
+                    lb.name()
+                );
+                assert_eq!(r.fleet.arrived, 70, "{ctx}");
+                assert_eq!(
+                    r.fleet.admitted + r.fleet.rejected,
+                    r.fleet.arrived,
+                    "{ctx}: admitted {} + rejected {} != offered {}",
+                    r.fleet.admitted,
+                    r.fleet.rejected,
+                    r.fleet.arrived
+                );
+                assert_eq!(
+                    r.fleet.completed, r.fleet.admitted,
+                    "{ctx}: every admitted request must finish"
+                );
+                // Per-replica accounting also conserves: each replica's
+                // own report balances, and their populations sum to at
+                // most the fleet's (router-level rejects have no home).
+                let mut total = 0;
+                for (i, rep) in r.replicas.iter().enumerate() {
+                    assert_eq!(
+                        rep.admitted + rep.rejected,
+                        rep.arrived,
+                        "{ctx}: replica {i} accounting"
+                    );
+                    total += rep.arrived;
+                }
+                assert!(total <= r.fleet.arrived, "{ctx}");
+            }
+        }
+    }
+}
+
+/// A 1-replica fleet is the single engine: same trace, byte-identical
+/// replica report — the router adds routing, not new step semantics.
+#[test]
+fn single_replica_router_matches_plain_engine() {
+    for policy in [
+        AdmissionPolicy::alisa(),
+        AdmissionPolicy::vllm(),
+        AdmissionPolicy::flexgen(),
+    ] {
+        let trace = alpaca_trace(4.0, 50, 99);
+        let engine_report = ServeEngine::new(replica_cfg(policy)).run(&trace);
+        let router_report =
+            Router::new(RouterConfig::homogeneous(replica_cfg(policy), 1)).run(&trace);
+        assert_eq!(
+            engine_report.canonical_text().into_bytes(),
+            router_report.replicas[0].canonical_text().into_bytes(),
+            "{}: 1-replica fleet must reproduce the engine byte-for-byte",
+            policy.name()
+        );
+    }
+}
+
+/// Goodput never degrades as replicas are added at a fixed offered
+/// rate, and ALISA keeps its per-replica advantage over vLLM at fleet
+/// scale — the two properties `fig14_multi_replica` gates on.
+#[test]
+fn scaling_up_helps_and_alisa_keeps_winning() {
+    let trace = alpaca_trace(8.0, 70, 42);
+    for policy in [AdmissionPolicy::alisa(), AdmissionPolicy::vllm()] {
+        let mut last = 0.0;
+        for n in [1usize, 2, 4] {
+            let r = Router::new(RouterConfig::homogeneous(replica_cfg(policy), n)).run(&trace);
+            assert!(
+                r.fleet.goodput_rps + 1e-12 >= last,
+                "{} at {n} replicas: goodput {} dropped below {last}",
+                policy.name(),
+                r.fleet.goodput_rps
+            );
+            last = r.fleet.goodput_rps;
+        }
+    }
+    for n in [1usize, 2, 4] {
+        let alisa = Router::new(RouterConfig::homogeneous(
+            replica_cfg(AdmissionPolicy::alisa()),
+            n,
+        ))
+        .run(&trace);
+        let vllm = Router::new(RouterConfig::homogeneous(
+            replica_cfg(AdmissionPolicy::vllm()),
+            n,
+        ))
+        .run(&trace);
+        assert!(
+            alisa.fleet.goodput_rps >= vllm.fleet.goodput_rps,
+            "{n} replicas: ALISA {} < vLLM {}",
+            alisa.fleet.goodput_rps,
+            vllm.fleet.goodput_rps
+        );
+    }
+}
+
+/// Disaggregated fleets hand every multi-token prompt off exactly once,
+/// and the handoff count shows up in the report.
+#[test]
+fn disaggregation_accounting() {
+    let trace = alpaca_trace(3.0, 40, 5);
+    let r = Router::new(
+        RouterConfig::homogeneous(replica_cfg(AdmissionPolicy::alisa()), 3)
+            .with_disagg(1)
+            .with_lb(LoadBalancePolicy::LeastKvPressure),
+    )
+    .run(&trace);
+    assert_eq!(r.prefill_replicas, 1);
+    assert_eq!(
+        r.handoffs, r.fleet.admitted,
+        "every admitted multi-token request is handed off exactly once"
+    );
+    assert_eq!(r.fleet.completed, r.fleet.admitted);
+    assert_eq!(r.replicas[0].completed, 0, "prefill tier never finishes");
+}
