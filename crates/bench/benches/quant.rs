@@ -1,0 +1,110 @@
+//! Criterion benchmarks for the KV quantization hot path: channel-wise
+//! quantize/dequantize throughput per bit width, the INT4 code
+//! pack/unpack kernels, and per-region precision-policy byte
+//! accounting. The mixed-precision refactor routes every offload byte
+//! through these — the functional path quantizes real matrices and the
+//! pricing path calls the policy accessors once per step — so their
+//! cost floors experiment turnaround.
+
+use alisa_tensor::quant::{
+    dequantize, fake_quantize_row, pack_codes, quantize, unpack_codes, PrecisionPolicy, QuantBits,
+};
+use alisa_tensor::Matrix;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+/// A deterministic pseudo-random KV-like matrix (no RNG dependency).
+fn kv_matrix(rows: usize, cols: usize) -> Matrix {
+    let data: Vec<f32> = (0..rows * cols)
+        .map(|i| {
+            let x = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            ((x >> 40) as f32 / (1u64 << 24) as f32) - 0.5
+        })
+        .collect();
+    Matrix::from_vec(rows, cols, data).unwrap()
+}
+
+fn bench_quantize(c: &mut Criterion) {
+    let m = kv_matrix(256, 128);
+    let mut g = c.benchmark_group("quantize_256x128");
+    for bits in [QuantBits::Int8, QuantBits::Int4] {
+        g.bench_with_input(BenchmarkId::from_parameter(bits), &bits, |b, &bits| {
+            b.iter(|| black_box(quantize(&m, bits).unwrap()));
+        });
+    }
+    g.finish();
+}
+
+fn bench_dequantize(c: &mut Criterion) {
+    let m = kv_matrix(256, 128);
+    let mut g = c.benchmark_group("dequantize_256x128");
+    for bits in [QuantBits::Int8, QuantBits::Int4] {
+        let q = quantize(&m, bits).unwrap();
+        g.bench_with_input(BenchmarkId::from_parameter(bits), &q, |b, q| {
+            b.iter(|| black_box(dequantize(q)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_pack_unpack(c: &mut Criterion) {
+    let codes: Vec<u8> = (0..32_768).map(|i| (i % 16) as u8).collect();
+    let mut g = c.benchmark_group("int4_codes_32k");
+    g.bench_function("pack", |b| {
+        b.iter(|| black_box(pack_codes(&codes, QuantBits::Int4)));
+    });
+    let packed = pack_codes(&codes, QuantBits::Int4);
+    g.bench_function("unpack", |b| {
+        b.iter(|| black_box(unpack_codes(&packed, codes.len(), QuantBits::Int4)));
+    });
+    g.finish();
+}
+
+fn bench_fake_quantize_row(c: &mut Criterion) {
+    let row: Vec<f32> = kv_matrix(1, 4096).as_slice().to_vec();
+    let mut g = c.benchmark_group("fake_quantize_row_4096");
+    for bits in [QuantBits::Int8, QuantBits::Int4] {
+        g.bench_with_input(BenchmarkId::from_parameter(bits), &bits, |b, &bits| {
+            b.iter(|| {
+                let mut r = row.clone();
+                fake_quantize_row(&mut r, bits);
+                black_box(r)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_policy_accounting(c: &mut Criterion) {
+    let mut g = c.benchmark_group("precision_policy");
+    let mixed = PrecisionPolicy::mixed();
+    g.bench_function("cpu_bytes_mixed", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..1024u64 {
+                acc = acc.wrapping_add(mixed.cpu_bytes(i << 10));
+            }
+            black_box(acc)
+        });
+    });
+    let int8 = PrecisionPolicy::int8();
+    g.bench_function("cpu_bytes_int8", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..1024u64 {
+                acc = acc.wrapping_add(int8.cpu_bytes(i << 10));
+            }
+            black_box(acc)
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_quantize,
+    bench_dequantize,
+    bench_pack_unpack,
+    bench_fake_quantize_row,
+    bench_policy_accounting
+);
+criterion_main!(benches);

@@ -15,20 +15,11 @@
 //! cargo run --release --bin fig13_online_serving [-- --quick] [-- --seed N]
 //! ```
 
-use alisa_bench::{banner, f, quick_mode, row};
+use alisa_bench::{banner, f, quick_mode, row, seed_arg};
 use alisa_memsim::HardwareSpec;
 use alisa_model::ModelConfig;
 use alisa_serve::{AdmissionPolicy, ArrivalProcess, ServeConfig, ServeEngine, Trace};
 use alisa_workloads::LengthModel;
-
-fn seed_arg() -> u64 {
-    let args: Vec<String> = std::env::args().collect();
-    args.iter()
-        .position(|a| a == "--seed")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(42)
-}
 
 fn main() {
     let quick = quick_mode();

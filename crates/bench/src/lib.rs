@@ -12,6 +12,18 @@ pub fn quick_mode() -> bool {
     std::env::args().any(|a| a == "--quick")
 }
 
+/// Parses `--seed N` from the command line, defaulting to 42 on a
+/// missing or malformed value. Shared by every gated figure binary so
+/// seed handling cannot drift between them.
+pub fn seed_arg() -> u64 {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--seed")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42)
+}
+
 /// Prints a figure/table banner.
 pub fn banner(id: &str, caption: &str) {
     println!("\n================================================================");

@@ -43,6 +43,7 @@ pub use alisa_memsim as memsim;
 pub use alisa_model as model;
 pub use alisa_sched as sched;
 pub use alisa_tensor as tensor;
+pub use alisa_tensor::quant::{CacheRegion, KvPrecision, PrecisionPolicy};
 pub use alisa_workloads as workloads;
 
 use alisa_attention::policy::PolicyKind;
@@ -50,7 +51,6 @@ use alisa_memsim::HardwareSpec;
 use alisa_model::engine::GenerationConfig;
 use alisa_model::{InitSpec, ModelConfig, TinyTransformer};
 use alisa_sched::{AlisaScheduler, InferenceSystem, Plan, PlanOptimizer, RunReport, Workload};
-use alisa_tensor::quant::QuantBits;
 use serde::{Deserialize, Serialize};
 
 /// Which of ALISA's techniques are active — the axis of the ablation in
@@ -87,7 +87,7 @@ impl AblationLevel {
 #[derive(Debug, Clone)]
 pub struct Alisa {
     kv_sparsity: f64,
-    kv_compression: bool,
+    kv_precision: PrecisionPolicy,
     history_depth: usize,
     plan: Option<Plan>,
     hardware: Option<HardwareSpec>,
@@ -106,12 +106,20 @@ impl Alisa {
         self.kv_sparsity
     }
 
+    /// The per-cache-state-region KV precision policy in effect (FP16
+    /// everywhere unless the ablation level enables compression).
+    pub fn kv_precision(&self) -> PrecisionPolicy {
+        if self.ablation == AblationLevel::Full {
+            self.kv_precision
+        } else {
+            PrecisionPolicy::fp16()
+        }
+    }
+
     /// The scheduler this configuration drives (performance path).
     pub fn scheduler(&self) -> AlisaScheduler {
-        let mut s = AlisaScheduler::new(
-            self.kv_sparsity,
-            self.kv_compression && self.ablation == AblationLevel::Full,
-        );
+        let mut s =
+            AlisaScheduler::new(self.kv_sparsity, false).with_precision(self.kv_precision());
         s.history_depth = self.history_depth;
         if let Some(plan) = self.plan {
             s = s.with_plan(plan);
@@ -155,11 +163,12 @@ impl Alisa {
             policy: PolicyKind::Swa,
             kv_sparsity: self.kv_sparsity as f32,
             history_depth: self.history_depth,
-            kv_quant: if self.kv_compression && self.ablation == AblationLevel::Full {
-                Some(QuantBits::Int8)
-            } else {
-                None
-            },
+            // The functional path stores each offloaded row at the
+            // CPU-region precision (the hot GPU window stays FP16).
+            kv_quant: self
+                .kv_precision()
+                .precision(CacheRegion::CpuResident)
+                .quant_bits(),
             ..GenerationConfig::default()
         }
     }
@@ -177,7 +186,7 @@ impl Alisa {
 #[derive(Debug, Clone)]
 pub struct AlisaBuilder {
     kv_sparsity: f64,
-    kv_compression: bool,
+    kv_precision: PrecisionPolicy,
     history_depth: usize,
     plan: Option<Plan>,
     hardware: Option<HardwareSpec>,
@@ -188,7 +197,7 @@ impl Default for AlisaBuilder {
     fn default() -> Self {
         AlisaBuilder {
             kv_sparsity: 0.8,
-            kv_compression: true,
+            kv_precision: PrecisionPolicy::int8(),
             history_depth: 4,
             plan: None,
             hardware: None,
@@ -209,9 +218,19 @@ impl AlisaBuilder {
         self
     }
 
-    /// Enables/disables INT8 KV compression (paper §V-B).
+    /// Enables/disables INT8 KV compression (paper §V-B) — shorthand
+    /// for the two legacy [`PrecisionPolicy`] operating points. Use
+    /// [`AlisaBuilder::kv_precision`] for mixed-precision policies.
     pub fn kv_compression(mut self, on: bool) -> Self {
-        self.kv_compression = on;
+        self.kv_precision = PrecisionPolicy::from_legacy_compression(on);
+        self
+    }
+
+    /// Sets the full per-cache-state-region KV precision policy, e.g.
+    /// [`PrecisionPolicy::mixed`] for GPU FP16 + CPU INT8 + an INT4
+    /// cold tail.
+    pub fn kv_precision(mut self, precision: PrecisionPolicy) -> Self {
+        self.kv_precision = precision;
         self
     }
 
@@ -245,7 +264,7 @@ impl AlisaBuilder {
     pub fn build(self) -> Alisa {
         Alisa {
             kv_sparsity: self.kv_sparsity,
-            kv_compression: self.kv_compression,
+            kv_precision: self.kv_precision,
             history_depth: self.history_depth,
             plan: self.plan,
             hardware: self.hardware,
@@ -257,6 +276,7 @@ impl AlisaBuilder {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use alisa_tensor::quant::QuantBits;
 
     #[test]
     fn builder_defaults_match_paper() {
@@ -275,7 +295,7 @@ mod tests {
         assert_eq!(sched.plan.beta, 0.0);
         assert!(sched.plan.p2_frac > 1.0);
         let full = Alisa::builder().ablation(AblationLevel::Full).build();
-        assert!(full.scheduler().kv_compression);
+        assert!(full.scheduler().compresses_kv());
         assert_eq!(AblationLevel::Full.label(), "SWA+DS+INT8");
     }
 
@@ -314,5 +334,25 @@ mod tests {
     #[should_panic(expected = "sparsity")]
     fn builder_rejects_bad_sparsity() {
         let _ = Alisa::builder().kv_sparsity(1.5);
+    }
+
+    #[test]
+    fn mixed_precision_policy_threads_through() {
+        let a = Alisa::builder()
+            .kv_precision(PrecisionPolicy::mixed())
+            .build();
+        let sched = a.scheduler();
+        assert!(sched.compresses_kv());
+        assert_eq!(sched.precision, PrecisionPolicy::mixed());
+        // Functional path stores offloaded rows at the CPU warm-share
+        // precision; the GPU hot window stays FP16.
+        assert_eq!(a.generation_config().kv_quant, Some(QuantBits::Int8));
+        // Non-full ablation levels disable compression entirely.
+        let swa = Alisa::builder()
+            .kv_precision(PrecisionPolicy::mixed())
+            .ablation(AblationLevel::SwaOnly)
+            .build();
+        assert!(swa.kv_precision().is_fp16_everywhere());
+        assert_eq!(swa.generation_config().kv_quant, None);
     }
 }

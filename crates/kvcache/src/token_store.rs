@@ -6,6 +6,7 @@
 //! All byte movements are returned to the caller so the scheduler can
 //! charge them to memory pools and the transfer clock.
 
+use alisa_tensor::quant::PrecisionPolicy;
 use serde::{Deserialize, Serialize};
 
 /// Where a token's KV tensor currently lives.
@@ -31,14 +32,20 @@ impl std::fmt::Display for Location {
 
 /// Byte-accurate, token-granular KV placement map for one batch.
 ///
-/// `bytes_per_token` already includes the batch factor: for a batch of
-/// `b` sequences the paper's Eq. 3 token size is `4·b·l·h` bytes (FP16),
-/// or half that under INT8 KV compression.
+/// `bytes_per_token` is the token's *working-precision* (FP16) width and
+/// already includes the batch factor: for a batch of `b` sequences the
+/// paper's Eq. 3 token size is `4·b·l·h` bytes. What a token actually
+/// *stores* depends on where it lives: the [`PrecisionPolicy`] maps each
+/// cache-state region to a bit width, so GPU-resident and CPU-resident
+/// bytes are accounted independently ([`TokenKvStore::gpu_bytes_per_token`]
+/// / [`TokenKvStore::cpu_bytes_per_token`]). [`TokenKvStore::new`] uses
+/// FP16 everywhere — the legacy uncompressed accounting.
 ///
 /// # Example
 ///
 /// ```
 /// use alisa_kvcache::{TokenKvStore, Location};
+/// use alisa_tensor::quant::PrecisionPolicy;
 ///
 /// let mut store = TokenKvStore::new(1024);
 /// store.append(Location::Gpu);
@@ -46,25 +53,74 @@ impl std::fmt::Display for Location {
 /// let moved = store.relocate(0, Location::Cpu);
 /// assert_eq!(moved, 1024);
 /// assert_eq!(store.count(Location::Gpu), 1);
+///
+/// // Under the paper's INT8 offload policy the offloaded copy (and the
+/// // link traffic) is half-width; the GPU-resident token stays FP16.
+/// let mut store = TokenKvStore::with_policy(1024, PrecisionPolicy::int8());
+/// store.append(Location::Gpu);
+/// assert_eq!(store.relocate(0, Location::Cpu), 512);
+/// assert_eq!(store.bytes_at(Location::Cpu), 512);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TokenKvStore {
     bytes_per_token: u64,
+    precision: PrecisionPolicy,
     locations: Vec<Location>,
 }
 
 impl TokenKvStore {
-    /// Creates an empty store.
+    /// Creates an empty store accounting every region at working
+    /// precision (FP16) — the legacy uncompressed behaviour.
     pub fn new(bytes_per_token: u64) -> Self {
+        TokenKvStore::with_policy(bytes_per_token, PrecisionPolicy::fp16())
+    }
+
+    /// Creates an empty store whose per-region stored bytes follow
+    /// `precision`.
+    pub fn with_policy(bytes_per_token: u64, precision: PrecisionPolicy) -> Self {
         TokenKvStore {
             bytes_per_token,
+            precision,
             locations: Vec::new(),
         }
     }
 
-    /// Bytes occupied by one token's KV entry.
+    /// Bytes occupied by one token's KV entry at working precision
+    /// (FP16), before any region's quantization.
     pub fn bytes_per_token(&self) -> u64 {
         self.bytes_per_token
+    }
+
+    /// The per-region precision policy this store accounts under.
+    pub fn precision(&self) -> PrecisionPolicy {
+        self.precision
+    }
+
+    /// Stored bytes of one GPU-resident token under the policy.
+    pub fn gpu_bytes_per_token(&self) -> u64 {
+        self.precision.gpu_bytes(self.bytes_per_token)
+    }
+
+    /// Stored bytes of one CPU-resident token under the policy
+    /// (warm share + cold tail blend).
+    pub fn cpu_bytes_per_token(&self) -> u64 {
+        self.precision.cpu_bytes(self.bytes_per_token)
+    }
+
+    /// Link bytes one *reloaded* token moves (CPU → GPU): re-selected
+    /// tokens come from the warm share, so they ship at the warm `cpu`
+    /// width rather than the cold-blended average.
+    pub fn cpu_reload_bytes_per_token(&self) -> u64 {
+        self.precision.cpu_reload_bytes(self.bytes_per_token)
+    }
+
+    /// Stored bytes of one token at `location` under the policy.
+    pub fn stored_bytes_per_token(&self, location: Location) -> u64 {
+        match location {
+            Location::Gpu => self.gpu_bytes_per_token(),
+            Location::Cpu => self.cpu_bytes_per_token(),
+            Location::Deleted => 0,
+        }
     }
 
     /// Number of token positions tracked (including deleted ones).
@@ -98,6 +154,13 @@ impl TokenKvStore {
     /// `Deleted` — deletion frees bytes and recomputation regenerates
     /// them on-GPU without link traffic).
     ///
+    /// Offload traffic is quantized *before* the device-to-host copy
+    /// and dequantized *after* the host-to-device copy (paper §V-B), so
+    /// both directions move reduced bytes, not the working width:
+    /// offloads at the blended CPU-storage width, reloads at the warm
+    /// width (re-selected tokens are warm by the cold tail's
+    /// definition).
+    ///
     /// # Panics
     ///
     /// Panics if `i` is out of range.
@@ -105,7 +168,8 @@ impl TokenKvStore {
         let from = self.locations[i];
         self.locations[i] = to;
         match (from, to) {
-            (Location::Gpu, Location::Cpu) | (Location::Cpu, Location::Gpu) => self.bytes_per_token,
+            (Location::Gpu, Location::Cpu) => self.cpu_bytes_per_token(),
+            (Location::Cpu, Location::Gpu) => self.cpu_reload_bytes_per_token(),
             _ => 0,
         }
     }
@@ -115,9 +179,10 @@ impl TokenKvStore {
         self.locations.iter().filter(|&&l| l == location).count()
     }
 
-    /// Bytes resident at `location`.
+    /// Bytes resident at `location`, accounted at that region's storage
+    /// precision.
     pub fn bytes_at(&self, location: Location) -> u64 {
-        self.count(location) as u64 * self.bytes_per_token
+        self.count(location) as u64 * self.stored_bytes_per_token(location)
     }
 
     /// Indices currently at `location`, ascending.
@@ -228,5 +293,38 @@ mod tests {
     fn display_locations() {
         assert_eq!(Location::Gpu.to_string(), "gpu");
         assert_eq!(Location::Deleted.to_string(), "deleted");
+    }
+
+    #[test]
+    fn policy_accounts_regions_independently() {
+        use alisa_tensor::quant::{KvPrecision, PrecisionPolicy};
+        let mixed = PrecisionPolicy::mixed(); // gpu FP16, cpu INT8 + INT4@0.5
+        let mut s = TokenKvStore::with_policy(1024, mixed);
+        s.append(Location::Gpu);
+        s.append(Location::Gpu);
+        assert_eq!(s.gpu_bytes_per_token(), 1024, "hot window stays FP16");
+        assert_eq!(s.cpu_bytes_per_token(), 384, "INT8 warm + INT4 cold tail");
+        assert_eq!(s.bytes_at(Location::Gpu), 2048);
+        // Offload: link moves the blended CPU-storage width.
+        assert_eq!(s.relocate(0, Location::Cpu), 384);
+        assert_eq!(s.bytes_at(Location::Cpu), 384);
+        assert_eq!(s.bytes_at(Location::Gpu), 1024);
+        // Reload: a re-selected token ships at the warm (INT8) width.
+        assert_eq!(s.cpu_reload_bytes_per_token(), 512);
+        assert_eq!(s.relocate(0, Location::Gpu), 512);
+        // A fully-INT4 GPU policy shrinks the resident bytes too.
+        let aggressive = PrecisionPolicy::fp16().with_gpu(KvPrecision::Int4);
+        let mut a = TokenKvStore::with_policy(1024, aggressive);
+        a.append(Location::Gpu);
+        assert_eq!(a.bytes_at(Location::Gpu), 256);
+        assert_eq!(a.stored_bytes_per_token(Location::Deleted), 0);
+    }
+
+    #[test]
+    fn default_store_is_fp16_everywhere() {
+        let s = TokenKvStore::new(512);
+        assert!(s.precision().is_fp16_everywhere());
+        assert_eq!(s.gpu_bytes_per_token(), 512);
+        assert_eq!(s.cpu_bytes_per_token(), 512);
     }
 }

@@ -15,6 +15,7 @@
 //!    is a reduction with almost no data reuse; it runs at a fraction of
 //!    peak bandwidth and can cost more than the `QKᵀ` it accompanies.
 
+use alisa_tensor::quant::KvPrecision;
 use serde::{Deserialize, Serialize};
 
 use crate::hardware::HardwareSpec;
@@ -142,6 +143,37 @@ impl CostModel {
     /// element-wise, so bandwidth-bound.
     pub fn quantize_time(&self, bytes: u64) -> f64 {
         self.vector_op_time(bytes)
+    }
+
+    /// Bit-width-aware [`CostModel::transfer_time`]: moves
+    /// `fp16_bytes` of working-precision KV across the link stored at
+    /// `precision`, so only the reduced-width bytes pay bandwidth.
+    pub fn transfer_time_at(&self, fp16_bytes: u64, precision: KvPrecision) -> f64 {
+        self.transfer_time(precision.bytes_of_fp16(fp16_bytes))
+    }
+
+    /// Bit-width-aware [`CostModel::quantize_time`]: the quantize (or
+    /// dequantize) pass for `fp16_bytes` of working-precision KV headed
+    /// to / coming from storage at `precision`. FP16 needs no pass and
+    /// costs nothing; quantized widths pay a bandwidth-bound vector op
+    /// over the *reduced* byte stream, matching the legacy charge of
+    /// `quantize_time(compressed_bytes)`.
+    pub fn quantize_time_at(&self, fp16_bytes: u64, precision: KvPrecision) -> f64 {
+        match precision.is_quantized() {
+            true => self.quantize_time(precision.bytes_of_fp16(fp16_bytes)),
+            false => 0.0,
+        }
+    }
+
+    /// Bit-width-aware [`CostModel::replica_transfer_time`]: hands
+    /// `fp16_bytes` of working-precision KV between replicas stored at
+    /// `precision` — both link legs and the host repack move only the
+    /// reduced bytes, and a quantized handoff additionally pays the
+    /// quantize pass on the sender and the dequantize pass on the
+    /// receiver.
+    pub fn replica_transfer_time_at(&self, fp16_bytes: u64, precision: KvPrecision) -> f64 {
+        let wire = precision.bytes_of_fp16(fp16_bytes);
+        self.replica_transfer_time(wire) + 2.0 * self.quantize_time_at(fp16_bytes, precision)
     }
 
     /// Time to hand a KV working set from one replica's HBM to
@@ -272,6 +304,47 @@ mod tests {
     fn quantize_time_matches_vector_cost() {
         let m = model();
         assert_eq!(m.quantize_time(1024), m.vector_op_time(1024));
+    }
+
+    #[test]
+    fn precision_variants_reduce_to_legacy_at_fp16_and_int8() {
+        let m = model();
+        let bytes = 1u64 << 26;
+        // FP16: identical to the unscaled calls, zero quantize cost.
+        assert_eq!(
+            m.transfer_time_at(bytes, KvPrecision::Fp16),
+            m.transfer_time(bytes)
+        );
+        assert_eq!(m.quantize_time_at(bytes, KvPrecision::Fp16), 0.0);
+        assert_eq!(
+            m.replica_transfer_time_at(bytes, KvPrecision::Fp16),
+            m.replica_transfer_time(bytes)
+        );
+        // INT8: exactly the legacy "halve the bytes, pay a quantize
+        // pass over the compressed stream" pricing.
+        assert_eq!(
+            m.transfer_time_at(bytes, KvPrecision::Int8),
+            m.transfer_time(bytes / 2)
+        );
+        assert_eq!(
+            m.quantize_time_at(bytes, KvPrecision::Int8),
+            m.quantize_time(bytes / 2)
+        );
+    }
+
+    #[test]
+    fn lower_precision_is_monotone_cheaper_on_the_link() {
+        let m = model();
+        let bytes = 1u64 << 26;
+        let t16 = m.transfer_time_at(bytes, KvPrecision::Fp16);
+        let t8 = m.transfer_time_at(bytes, KvPrecision::Int8);
+        let t4 = m.transfer_time_at(bytes, KvPrecision::Int4);
+        assert!(t16 > t8 && t8 > t4);
+        let h16 = m.replica_transfer_time_at(bytes, KvPrecision::Fp16);
+        let h8 = m.replica_transfer_time_at(bytes, KvPrecision::Int8);
+        let h4 = m.replica_transfer_time_at(bytes, KvPrecision::Int4);
+        // At handoff scale the link dominates the added quantize pass.
+        assert!(h16 > h8 && h8 > h4);
     }
 
     #[test]

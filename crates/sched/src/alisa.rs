@@ -16,13 +16,19 @@
 //!   recomputed on the GPU (two projection GEMMs per layer) — cheaper
 //!   than crossing the link once sequences are long.
 //!
-//! With KV compression enabled, CPU-resident tokens are stored INT8:
-//! half the bytes cross the link, plus a quantize/dequantize vector op
-//! (paper §V-B).
+//! KV bytes are priced through a per-cache-state-region
+//! [`PrecisionPolicy`]: the GPU-resident hot window, the CPU-resident
+//! sparse remainder (with an optional colder INT4 tail), and in-flight
+//! handoff bytes each store at their own
+//! [`KvPrecision`](alisa_tensor::quant::KvPrecision). The paper's
+//! §V-B INT8 compression is the [`PrecisionPolicy::int8`] operating
+//! point — CPU-resident tokens at INT8, so the link moves half the
+//! bytes plus a quantize/dequantize vector op.
 
 use alisa_kvcache::{Location, TokenKvStore};
 use alisa_memsim::{HardwareSpec, MemClass, StepRecord};
 use alisa_model::ModelConfig;
+use alisa_tensor::quant::PrecisionPolicy;
 use serde::{Deserialize, Serialize};
 
 use crate::common::{efficiency, hash_unit, SimBase, FP16};
@@ -64,13 +70,15 @@ impl Default for Plan {
 }
 
 /// The ALISA inference system: SWA sparsity + dynamic scheduling +
-/// optional INT8 KV compression.
+/// per-region KV precision (§V-B generalized).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct AlisaScheduler {
     /// Target KV sparsity (the paper evaluates 80% end-to-end).
     pub kv_sparsity: f64,
-    /// INT8 KV compression for CPU-resident tokens (§V-B).
-    pub kv_compression: bool,
+    /// Per-cache-state-region KV precision. [`PrecisionPolicy::fp16`]
+    /// is the legacy "no compression" pricing;
+    /// [`PrecisionPolicy::int8`] is the paper's §V-B INT8 offload.
+    pub precision: PrecisionPolicy,
     /// Scheduling plan (defaults to [`Plan::default`]; tune with
     /// [`PlanOptimizer`]).
     pub plan: Plan,
@@ -79,8 +87,11 @@ pub struct AlisaScheduler {
 }
 
 impl AlisaScheduler {
-    /// Creates ALISA at the given sparsity, with or without KV
-    /// compression, under the default plan.
+    /// Creates ALISA at the given sparsity, with or without the paper's
+    /// INT8 KV compression of CPU-resident tokens, under the default
+    /// plan. The boolean maps onto the two legacy precision policies
+    /// ([`PrecisionPolicy::from_legacy_compression`]); use
+    /// [`AlisaScheduler::with_precision`] for mixed-precision points.
     pub fn new(kv_sparsity: f64, kv_compression: bool) -> Self {
         assert!(
             (0.0..1.0).contains(&kv_sparsity),
@@ -88,7 +99,7 @@ impl AlisaScheduler {
         );
         AlisaScheduler {
             kv_sparsity,
-            kv_compression,
+            precision: PrecisionPolicy::from_legacy_compression(kv_compression),
             plan: Plan::default(),
             history_depth: 4,
         }
@@ -100,20 +111,24 @@ impl AlisaScheduler {
         self
     }
 
+    /// Replaces the per-region precision policy.
+    pub fn with_precision(mut self, precision: PrecisionPolicy) -> Self {
+        self.precision = precision;
+        self
+    }
+
+    /// Whether any offloaded KV is quantized (the generalization of the
+    /// old `kv_compression` flag).
+    pub fn compresses_kv(&self) -> bool {
+        self.precision.quantizes_cpu()
+    }
+
     /// Ablation helper: SWA only — no offloading benefit modelling
     /// beyond what the budget saves, recomputation off.
     pub fn without_recompute(mut self) -> Self {
         self.plan.p2_frac = 2.0;
         self.plan.beta = 0.0;
         self
-    }
-
-    fn cpu_bytes_per_token(&self, fp16_bytes: u64) -> u64 {
-        if self.kv_compression {
-            fp16_bytes / 2
-        } else {
-            fp16_bytes
-        }
     }
 }
 
@@ -180,20 +195,27 @@ impl InferenceSystem for AlisaScheduler {
 
         let b = wl.batch_size;
         let fp16_tok = model.kv_bytes_per_token(FP16) * b as u64;
-        let cpu_tok = self.cpu_bytes_per_token(fp16_tok);
+        // Per-region stored widths: the hot window occupies `gpu_tok`
+        // in HBM; an offloaded token stores (and ships) `cpu_tok`; a
+        // *reloaded* token ships at the warm-share width — re-selected
+        // tokens are warm by the cold tail's definition (both widths
+        // coincide when there is no cold tail).
+        let gpu_tok = self.precision.gpu_bytes(fp16_tok);
+        let cpu_tok = self.precision.cpu_bytes(fp16_tok);
+        let cpu_reload_tok = self.precision.cpu_reload_bytes(fp16_tok);
         let headroom = sim.gpu_kv_headroom();
         let r = 1.0 - self.kv_sparsity;
         let final_seq = wl.final_seq_len();
         let p2_seq = (self.plan.p2_frac * final_seq as f64) as usize;
         let globals = GlobalSetModel::new(mix_name(model, wl));
-        let mut store = TokenKvStore::new(fp16_tok);
+        let mut store = TokenKvStore::with_policy(fp16_tok, self.precision);
 
         // A few tokens of transient workspace stay free for streamed
         // (non-cached) working-set tokens, mirroring the layer-wise
         // scheduling the paper describes ("schedule KV tensors in a
         // layerwise manner"): only one layer's gathered KV needs to be
         // resident at a time, so a small bounce buffer suffices.
-        let margin = 4 * fp16_tok;
+        let margin = 4 * gpu_tok;
         let watermark = ((headroom as f64 * self.plan.alpha) as u64).saturating_sub(margin);
 
         // ---- Prefill: all prompt tokens, spilling the oldest to CPU if
@@ -202,13 +224,13 @@ impl InferenceSystem for AlisaScheduler {
         for _ in 0..wl.input_len {
             store.append(Location::Gpu);
         }
-        let mut gpu_kv = wl.input_len as u64 * fp16_tok;
+        let mut gpu_kv = wl.input_len as u64 * gpu_tok;
         while gpu_kv > watermark {
             let Some(&victim) = store.oldest_at(Location::Gpu, 1).first() else {
                 break;
             };
             store.relocate(victim, Location::Cpu);
-            gpu_kv -= fp16_tok;
+            gpu_kv -= gpu_tok;
             prefill_store_bytes += cpu_tok;
         }
         if let Err(e) = sim.gpu.alloc(MemClass::KvCache, gpu_kv) {
@@ -230,7 +252,7 @@ impl InferenceSystem for AlisaScheduler {
             cpu_mem: sim.cpu.used(),
             ..StepRecord::default()
         };
-        if self.kv_compression && prefill_store_bytes > 0 {
+        if self.compresses_kv() && prefill_store_bytes > 0 {
             rec.quant_time = sim.cost.quantize_time(prefill_store_bytes);
         }
         sim.timeline.push(rec);
@@ -259,7 +281,7 @@ impl InferenceSystem for AlisaScheduler {
             // tokens are preferred victims *last*: first anything
             // outside window ∪ globals, then globals, then the window
             // itself (the degenerate streaming regime).
-            let target = watermark.saturating_sub(fp16_tok);
+            let target = watermark.saturating_sub(gpu_tok);
             while sim.gpu.used_by(MemClass::KvCache) > target {
                 let resident = store.oldest_at(Location::Gpu, usize::MAX);
                 let victim = resident
@@ -269,7 +291,7 @@ impl InferenceSystem for AlisaScheduler {
                     .or_else(|| resident.iter().copied().find(|&i| i < window_start))
                     .or_else(|| resident.first().copied());
                 let Some(victim) = victim else { break };
-                sim.gpu.free(MemClass::KvCache, fp16_tok);
+                sim.gpu.free(MemClass::KvCache, gpu_tok);
                 beta_acc += self.plan.beta;
                 if phase3 && beta_acc >= 1.0 {
                     // Algorithm 2 line 17: delete instead of store.
@@ -286,7 +308,7 @@ impl InferenceSystem for AlisaScheduler {
             }
 
             // (b) Append the new token's KV on GPU.
-            if let Err(e) = sim.gpu.alloc(MemClass::KvCache, fp16_tok) {
+            if let Err(e) = sim.gpu.alloc(MemClass::KvCache, gpu_tok) {
                 return sim.oom(self.name(), model, wl, j, e);
             }
             store.append(Location::Gpu);
@@ -298,22 +320,22 @@ impl InferenceSystem for AlisaScheduler {
             let part = store.partition_needed(&global_set);
             debug_assert!(part.missing.is_empty(), "global set out of range");
             for &i in &part.on_cpu {
-                load_bytes += cpu_tok;
-                if sim.gpu.used_by(MemClass::KvCache) + fp16_tok <= watermark {
+                load_bytes += cpu_reload_tok;
+                if sim.gpu.used_by(MemClass::KvCache) + gpu_tok <= watermark {
                     store.relocate(i, Location::Gpu);
                     sim.cpu.free(MemClass::KvCache, cpu_tok);
                     sim.gpu
-                        .alloc(MemClass::KvCache, fp16_tok)
+                        .alloc(MemClass::KvCache, gpu_tok)
                         .expect("within watermark");
                 }
                 entered_phase2 = true;
             }
             for &i in &part.deleted {
                 recompute_tokens += 1;
-                if sim.gpu.used_by(MemClass::KvCache) + fp16_tok <= watermark {
+                if sim.gpu.used_by(MemClass::KvCache) + gpu_tok <= watermark {
                     store.relocate(i, Location::Gpu);
                     sim.gpu
-                        .alloc(MemClass::KvCache, fp16_tok)
+                        .alloc(MemClass::KvCache, gpu_tok)
                         .expect("within watermark");
                 }
             }
@@ -333,7 +355,7 @@ impl InferenceSystem for AlisaScheduler {
             } else {
                 0.0
             };
-            let quant_time = if self.kv_compression {
+            let quant_time = if self.compresses_kv() {
                 sim.cost.quantize_time(load_bytes + store_bytes)
             } else {
                 0.0
@@ -572,5 +594,35 @@ mod tests {
     #[should_panic(expected = "sparsity")]
     fn rejects_invalid_sparsity() {
         let _ = AlisaScheduler::new(1.0, false);
+    }
+
+    #[test]
+    fn legacy_bool_maps_to_precision_policies() {
+        assert_eq!(
+            AlisaScheduler::new(0.8, false).precision,
+            PrecisionPolicy::fp16()
+        );
+        assert_eq!(
+            AlisaScheduler::new(0.8, true).precision,
+            PrecisionPolicy::int8()
+        );
+        assert!(!AlisaScheduler::new(0.8, false).compresses_kv());
+        assert!(AlisaScheduler::new(0.8, true).compresses_kv());
+    }
+
+    #[test]
+    fn mixed_precision_cuts_traffic_below_flat_int8() {
+        let hw = HardwareSpec::v100_16gb();
+        let model = ModelConfig::opt_6_7b();
+        let wl = Workload::alpaca(32);
+        let int8 = AlisaScheduler::new(0.8, true).run(&model, &hw, &wl);
+        let mixed = AlisaScheduler::new(0.8, true)
+            .with_precision(PrecisionPolicy::mixed())
+            .run(&model, &hw, &wl);
+        assert!(int8.outcome.is_completed() && mixed.outcome.is_completed());
+        assert!(
+            mixed.timeline.total_transfer_time() < int8.timeline.total_transfer_time(),
+            "the INT4 cold tail must shave link bytes below flat INT8"
+        );
     }
 }

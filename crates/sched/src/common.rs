@@ -3,6 +3,7 @@
 
 use alisa_memsim::{CostModel, HardwareSpec, MemClass, MemPool, OomError, Timeline};
 use alisa_model::ModelConfig;
+use alisa_tensor::quant::KvPrecision;
 
 use crate::report::{Outcome, RunReport};
 use crate::workload::Workload;
@@ -76,6 +77,39 @@ pub trait StepExecutor {
     /// repack, host-to-device leg). Prefill/decode disaggregation in
     /// `alisa-serve` charges completed-prompt handoffs through this.
     fn handoff_time(&self, bytes: u64) -> f64;
+
+    /// Bit-width-aware [`StepExecutor::link_time`]: `fp16_bytes` of
+    /// working-precision KV cross the link stored at `precision`, so
+    /// only the reduced bytes pay bandwidth.
+    ///
+    /// The default impls of the `*_at` methods are stated in terms of
+    /// the primitive methods above; [`SimBase`] overrides them to
+    /// delegate to the canonical `CostModel::*_at` variants (the two
+    /// formulations agree — asserted in tests).
+    fn link_time_at(&self, fp16_bytes: u64, precision: KvPrecision) -> f64 {
+        self.link_time(precision.bytes_of_fp16(fp16_bytes))
+    }
+
+    /// Bit-width-aware [`StepExecutor::quant_time`]: the quantize /
+    /// dequantize pass for `fp16_bytes` of working-precision KV stored
+    /// at `precision` (zero for FP16 — no pass needed).
+    fn quant_time_at(&self, fp16_bytes: u64, precision: KvPrecision) -> f64 {
+        if precision.is_quantized() {
+            self.quant_time(precision.bytes_of_fp16(fp16_bytes))
+        } else {
+            0.0
+        }
+    }
+
+    /// Bit-width-aware [`StepExecutor::handoff_time`]: the replica
+    /// handoff of `fp16_bytes` of working-precision KV stored at
+    /// `precision` — reduced bytes on both link legs and the host
+    /// repack, plus the sender-side quantize and receiver-side
+    /// dequantize passes when quantized.
+    fn handoff_time_at(&self, fp16_bytes: u64, precision: KvPrecision) -> f64 {
+        self.handoff_time(precision.bytes_of_fp16(fp16_bytes))
+            + 2.0 * self.quant_time_at(fp16_bytes, precision)
+    }
 }
 
 /// Mutable simulation state shared by all system simulators: the cost
@@ -260,6 +294,21 @@ impl StepExecutor for SimBase {
     fn handoff_time(&self, bytes: u64) -> f64 {
         self.cost.replica_transfer_time(bytes)
     }
+
+    // The *_at methods delegate to the canonical bit-width-aware
+    // variants in `alisa_memsim::CostModel` rather than relying on the
+    // trait defaults, so memsim owns the one authoritative formula.
+    fn link_time_at(&self, fp16_bytes: u64, precision: KvPrecision) -> f64 {
+        self.cost.transfer_time_at(fp16_bytes, precision)
+    }
+
+    fn quant_time_at(&self, fp16_bytes: u64, precision: KvPrecision) -> f64 {
+        self.cost.quantize_time_at(fp16_bytes, precision)
+    }
+
+    fn handoff_time_at(&self, fp16_bytes: u64, precision: KvPrecision) -> f64 {
+        self.cost.replica_transfer_time_at(fp16_bytes, precision)
+    }
 }
 
 /// Deterministic 64-bit mix (splitmix64 finalizer) for synthetic access
@@ -388,6 +437,69 @@ mod tests {
         assert_eq!(
             exec.handoff_time(1 << 20),
             b.cost.replica_transfer_time(1 << 20)
+        );
+    }
+
+    #[test]
+    fn precision_aware_executor_matches_cost_model_variants() {
+        // A shim that implements only the primitive methods, so the
+        // trait's *default* `*_at` formulas stay exercised and cannot
+        // silently diverge from the canonical `CostModel::*_at`
+        // variants SimBase delegates to.
+        struct Defaults<'a>(&'a SimBase);
+        impl StepExecutor for Defaults<'_> {
+            fn prefill_time(&self, m: &ModelConfig, b: usize, s: usize, e: f64) -> f64 {
+                self.0.prefill_time(m, b, s, e)
+            }
+            fn decode_time(&self, m: &ModelConfig, b: usize, kv: usize, e: f64) -> f64 {
+                self.0.decode_time(m, b, kv, e)
+            }
+            fn selection_time(
+                &self,
+                m: &ModelConfig,
+                b: usize,
+                s: usize,
+                k: usize,
+                h: usize,
+            ) -> f64 {
+                self.0.selection_time(m, b, s, k, h)
+            }
+            fn link_time(&self, bytes: u64) -> f64 {
+                self.0.link_time(bytes)
+            }
+            fn host_memory_time(&self, bytes: u64) -> f64 {
+                self.0.host_memory_time(bytes)
+            }
+            fn quant_time(&self, bytes: u64) -> f64 {
+                self.0.quant_time(bytes)
+            }
+            fn handoff_time(&self, bytes: u64) -> f64 {
+                self.0.handoff_time(bytes)
+            }
+        }
+        let b = base();
+        let defaults = Defaults(&b);
+        let exec: &dyn StepExecutor = &b;
+        let bytes = 1u64 << 22;
+        for p in [KvPrecision::Fp16, KvPrecision::Int8, KvPrecision::Int4] {
+            for e in [exec, &defaults as &dyn StepExecutor] {
+                assert_eq!(e.link_time_at(bytes, p), b.cost.transfer_time_at(bytes, p));
+                assert_eq!(e.quant_time_at(bytes, p), b.cost.quantize_time_at(bytes, p));
+                assert_eq!(
+                    e.handoff_time_at(bytes, p),
+                    b.cost.replica_transfer_time_at(bytes, p)
+                );
+            }
+        }
+        // FP16 reduces to the unscaled legacy calls.
+        assert_eq!(
+            exec.link_time_at(bytes, KvPrecision::Fp16),
+            exec.link_time(bytes)
+        );
+        assert_eq!(exec.quant_time_at(bytes, KvPrecision::Fp16), 0.0);
+        assert_eq!(
+            exec.handoff_time_at(bytes, KvPrecision::Fp16),
+            exec.handoff_time(bytes)
         );
     }
 

@@ -18,6 +18,7 @@
 use alisa_model::ModelConfig;
 use alisa_sched::common::{delegated_attention_qr_bytes, efficiency, FP16};
 use alisa_sched::StepExecutor;
+use alisa_tensor::quant::PrecisionPolicy;
 use serde::{Deserialize, Serialize};
 
 /// Fraction of ALISA's resident working set assumed to churn across the
@@ -34,21 +35,34 @@ const ALISA_MARGIN_TOKENS: u64 = 4;
 /// The three constructors give the paper's evaluated configurations;
 /// the enum variants stay public so sweeps can explore other operating
 /// points. ALISA's sparse reservation is the whole game — the same
-/// request costs it a fraction of what dense paged booking charges:
+/// request costs it a fraction of what dense paged booking charges —
+/// and on top of it each cache-state region (GPU hot window,
+/// CPU-resident remainder, in-flight handoffs) is priced at its own
+/// [`PrecisionPolicy`] bit width:
 ///
 /// ```
 /// use alisa_model::ModelConfig;
 /// use alisa_serve::AdmissionPolicy;
+/// use alisa_tensor::quant::PrecisionPolicy;
 ///
 /// let model = ModelConfig::opt_6_7b();
 /// let dense = AdmissionPolicy::vllm().gpu_kv_bytes(&model, 640);
 /// let sparse = AdmissionPolicy::alisa().gpu_kv_bytes(&model, 640);
 /// assert!((sparse as f64) < 0.3 * dense as f64);
 ///
-/// // Custom operating point: 90% sparsity, no INT8 link compression.
-/// let aggressive = AdmissionPolicy::Alisa { sparsity: 0.9, compression: false };
+/// // Custom operating point: 90% sparsity, offloaded KV kept at FP16
+/// // (no quantization anywhere).
+/// let aggressive = AdmissionPolicy::Alisa {
+///     sparsity: 0.9,
+///     precision: PrecisionPolicy::fp16(),
+/// };
 /// assert!(aggressive.gpu_kv_bytes(&model, 640) < sparse);
 /// assert_eq!(aggressive.name(), "ALISA");
+///
+/// // Mixed precision trims offload traffic below flat INT8 without
+/// // touching the GPU-resident reservation.
+/// let mixed = AdmissionPolicy::alisa_mixed();
+/// assert_eq!(mixed.gpu_kv_bytes(&model, 640), sparse);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum AdmissionPolicy {
@@ -56,8 +70,12 @@ pub enum AdmissionPolicy {
     Alisa {
         /// KV sparsity in `[0, 1)` (paper evaluates 0.8).
         sparsity: f64,
-        /// INT8 compression of CPU-resident tokens (halves link bytes).
-        compression: bool,
+        /// Per-cache-state-region KV precision: what the GPU hot
+        /// window, the CPU-resident remainder (warm share + cold
+        /// tail), and replica handoffs each store at. Link and memory
+        /// bytes are priced through this policy region by region — no
+        /// flat halving.
+        precision: PrecisionPolicy,
     },
     /// vLLM-style dense paged KV.
     VllmPaged {
@@ -72,11 +90,40 @@ pub enum AdmissionPolicy {
 }
 
 impl AdmissionPolicy {
-    /// ALISA at the paper's headline configuration.
+    /// ALISA at the paper's headline configuration: 80% sparsity with
+    /// the §V-B INT8 offload precision ([`PrecisionPolicy::int8`]).
     pub fn alisa() -> Self {
         AdmissionPolicy::Alisa {
             sparsity: 0.8,
-            compression: true,
+            precision: PrecisionPolicy::int8(),
+        }
+    }
+
+    /// ALISA at 80% sparsity under the mixed-precision policy
+    /// ([`PrecisionPolicy::mixed`]): GPU hot window FP16, CPU remainder
+    /// INT8 with an INT4 cold tail, INT8 replica handoffs.
+    pub fn alisa_mixed() -> Self {
+        AdmissionPolicy::Alisa {
+            sparsity: 0.8,
+            precision: PrecisionPolicy::mixed(),
+        }
+    }
+
+    /// ALISA at 80% sparsity under an arbitrary precision policy.
+    pub fn alisa_with(precision: PrecisionPolicy) -> Self {
+        AdmissionPolicy::Alisa {
+            sparsity: 0.8,
+            precision,
+        }
+    }
+
+    /// The per-region precision policy this admission rule prices KV
+    /// bytes through (FP16 everywhere for the dense baselines — neither
+    /// vLLM nor FlexGen quantizes KV).
+    pub fn precision(&self) -> PrecisionPolicy {
+        match *self {
+            AdmissionPolicy::Alisa { precision, .. } => precision,
+            _ => PrecisionPolicy::fp16(),
         }
     }
 
@@ -108,9 +155,13 @@ impl AdmissionPolicy {
         }
     }
 
-    /// GPU bytes this policy reserves for a request that will reach
-    /// `final_seq_len` tokens.
-    pub fn gpu_kv_bytes(&self, model: &ModelConfig, final_seq_len: usize) -> u64 {
+    /// Working-precision (FP16) bytes of the KV working set this
+    /// policy keeps GPU-resident for a request that will reach
+    /// `final_seq_len` tokens — the byte count *before* any region's
+    /// precision scaling. [`AdmissionPolicy::gpu_kv_bytes`] prices it
+    /// at the GPU-region width; [`crate::ServeEngine::kv_handoff_bytes`]
+    /// prices the same set at the handoff width.
+    pub fn kv_working_set_fp16(&self, model: &ModelConfig, final_seq_len: usize) -> u64 {
         let per_tok = model.kv_bytes_per_token(FP16);
         match *self {
             AdmissionPolicy::Alisa { sparsity, .. } => {
@@ -126,6 +177,14 @@ impl AdmissionPolicy {
                 gpu_tokens * per_tok
             }
         }
+    }
+
+    /// GPU bytes this policy reserves for a request that will reach
+    /// `final_seq_len` tokens: the working set priced at the
+    /// GPU-region precision.
+    pub fn gpu_kv_bytes(&self, model: &ModelConfig, final_seq_len: usize) -> u64 {
+        self.precision()
+            .gpu_bytes(self.kv_working_set_fp16(model, final_seq_len))
     }
 
     /// KV tokens per sequence the GPU attends over at `seq_len` — the
@@ -146,6 +205,15 @@ impl AdmissionPolicy {
     /// `b` sequences whose mean length is `mean_seq`: selection and
     /// offload traffic for ALISA, CPU-delegated attention for FlexGen,
     /// nothing for vLLM's fused paged kernels.
+    ///
+    /// ALISA's offload traffic is priced through the precision policy:
+    /// the step's churn bytes (working-precision wide) are scaled to
+    /// the CPU-region storage width — INT8 warm share, optionally an
+    /// INT4 cold tail — before paying link bandwidth, and any
+    /// quantized region adds a quantize/dequantize vector op over the
+    /// reduced stream. A FP16-everywhere policy prices exactly like
+    /// the old uncompressed path; [`PrecisionPolicy::int8`] reproduces
+    /// the paper's flat INT8 halving.
     pub fn step_overhead(
         &self,
         exec: &dyn StepExecutor,
@@ -157,22 +225,29 @@ impl AdmissionPolicy {
         match *self {
             AdmissionPolicy::Alisa {
                 sparsity,
-                compression,
+                precision,
             } => {
                 let budget = self.attended_tokens(mean_seq);
                 let selection = exec.selection_time(model, b, mean_seq, budget, 4);
                 // Each step appends one token per sequence; in steady
                 // state a `sparsity` share of it leaves the working set
                 // for host memory, and a small share of the resident
-                // set churns back in.
+                // set churns back in. Stores move at the blended
+                // CPU-storage width (a `cold_frac` share of offloads
+                // ends up in the cold tail); reloads are re-selected —
+                // warm by the cold tail's definition — so they move at
+                // the warm-share width. With no cold tail both widths
+                // coincide, and summing before scaling keeps the
+                // legacy `(store + reload) / 2` integer arithmetic
+                // bit-for-bit.
                 let store = (b as f64 * sparsity * per_tok as f64) as u64;
                 let reload = (b as f64 * budget as f64 * ALISA_RELOAD_FRAC * per_tok as f64) as u64;
-                let link_bytes = if compression {
-                    (store + reload) / 2
+                let link_bytes = if precision.cold_frac == 0.0 {
+                    precision.cpu_bytes(store + reload)
                 } else {
-                    store + reload
+                    precision.cpu_bytes(store) + precision.cpu_reload_bytes(reload)
                 };
-                let quant = if compression {
+                let quant = if precision.quantizes_cpu() {
                     exec.quant_time(link_bytes)
                 } else {
                     0.0
@@ -249,17 +324,48 @@ mod tests {
     }
 
     #[test]
-    fn compression_halves_link_overhead_contribution() {
+    fn precision_orders_link_overhead_contribution() {
         let model = ModelConfig::opt_6_7b();
         let exec = SimBase::new(&HardwareSpec::v100_16gb());
-        let plain = AdmissionPolicy::Alisa {
-            sparsity: 0.8,
-            compression: false,
-        }
-        .step_overhead(&exec, &model, 32, 512);
-        let compressed = AdmissionPolicy::alisa().step_overhead(&exec, &model, 32, 512);
-        // Compression halves link bytes but adds quantization time; at
-        // this scale the link dominates, so it must not be slower.
-        assert!(compressed <= plain);
+        let at = |precision| {
+            AdmissionPolicy::Alisa {
+                sparsity: 0.8,
+                precision,
+            }
+            .step_overhead(&exec, &model, 32, 512)
+        };
+        let fp16 = at(PrecisionPolicy::fp16());
+        let int8 = at(PrecisionPolicy::int8());
+        let mixed = at(PrecisionPolicy::mixed());
+        // Lower offload precision moves fewer link bytes; the added
+        // quantization op is cheaper than the bandwidth it saves at
+        // this scale, so the order is monotone.
+        assert!(int8 <= fp16, "INT8 offload must not cost more than FP16");
+        assert!(mixed <= int8, "the INT4 cold tail must shave further");
+    }
+
+    #[test]
+    fn reservations_ignore_offload_precision_but_follow_gpu_precision() {
+        use alisa_tensor::quant::KvPrecision;
+        let model = ModelConfig::opt_6_7b();
+        // Offload precision does not change the GPU-resident booking…
+        assert_eq!(
+            AdmissionPolicy::alisa().gpu_kv_bytes(&model, 640),
+            AdmissionPolicy::alisa_mixed().gpu_kv_bytes(&model, 640),
+        );
+        // …but quantizing the hot window itself halves it.
+        let int8_gpu =
+            AdmissionPolicy::alisa_with(PrecisionPolicy::int8().with_gpu(KvPrecision::Int8));
+        assert_eq!(
+            int8_gpu.gpu_kv_bytes(&model, 640),
+            AdmissionPolicy::alisa().gpu_kv_bytes(&model, 640) / 2,
+        );
+        // The dense baselines stay FP16 everywhere.
+        assert!(AdmissionPolicy::vllm().precision().is_fp16_everywhere());
+        assert!(AdmissionPolicy::flexgen().precision().is_fp16_everywhere());
+        assert_eq!(
+            AdmissionPolicy::vllm().gpu_kv_bytes(&model, 640),
+            AdmissionPolicy::vllm().kv_working_set_fp16(&model, 640),
+        );
     }
 }

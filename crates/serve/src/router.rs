@@ -805,8 +805,7 @@ impl Router {
                     req.state = RequestState::Finished;
                 } else {
                     *handoffs_total += 1;
-                    let kv = engine.kv_handoff_bytes(req.seq_len());
-                    let transfer = engine.executor().handoff_time(kv);
+                    let transfer = engine.kv_handoff_time(req.seq_len());
                     heap.push(Ev {
                         t: t_end + transfer,
                         seq: *seq,
@@ -1131,7 +1130,7 @@ mod tests {
         )
         .run(&trace);
         let engine = ServeEngine::new(replica_cfg(AdmissionPolicy::alisa()));
-        let transfer = engine.executor().handoff_time(engine.kv_handoff_bytes(257));
+        let transfer = engine.kv_handoff_time(257);
         assert!(transfer > 0.0);
         assert!(
             (disagg.fleet.e2e.mean - unified.fleet.e2e.mean - transfer).abs() < 1e-9,

@@ -61,3 +61,128 @@ proptest! {
         prop_assert_eq!(trace.to_text(), back.to_text());
     }
 }
+
+mod precision_pricing {
+    use super::*;
+    use alisa_memsim::HardwareSpec;
+    use alisa_model::ModelConfig;
+    use alisa_sched::common::FP16;
+    use alisa_sched::{SimBase, StepExecutor};
+    use alisa_serve::{AdmissionPolicy, ServeConfig, ServeEngine};
+    use alisa_tensor::quant::{KvPrecision, PrecisionPolicy};
+
+    /// The pre-refactor constants, frozen here on purpose: the legacy
+    /// formulas below must stay an independent re-statement of what the
+    /// boolean-flag code charged, not a call back into the refactored
+    /// path.
+    const ALISA_RELOAD_FRAC: f64 = 0.02;
+
+    /// Exactly what the old `compression: bool` step-overhead code
+    /// computed for ALISA, re-implemented from the pre-refactor source.
+    fn legacy_step_overhead(
+        exec: &dyn StepExecutor,
+        model: &ModelConfig,
+        b: usize,
+        mean_seq: usize,
+        sparsity: f64,
+        compression: bool,
+    ) -> f64 {
+        let per_tok = model.kv_bytes_per_token(FP16);
+        let budget = ((mean_seq as f64 * (1.0 - sparsity)).round() as usize).clamp(1, mean_seq);
+        let selection = exec.selection_time(model, b, mean_seq, budget, 4);
+        let store = (b as f64 * sparsity * per_tok as f64) as u64;
+        let reload = (b as f64 * budget as f64 * ALISA_RELOAD_FRAC * per_tok as f64) as u64;
+        let link_bytes = if compression {
+            (store + reload) / 2
+        } else {
+            store + reload
+        };
+        let quant = if compression {
+            exec.quant_time(link_bytes)
+        } else {
+            0.0
+        };
+        selection + exec.link_time(link_bytes) + quant
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The FP16-everywhere policy prices per-step overhead exactly
+        /// like the pre-refactor `compression: false` formula, and the
+        /// uniform-INT8 policy exactly like `compression: true` — for
+        /// any batch, context length, and sparsity.
+        #[test]
+        fn legacy_policies_price_steps_identically(
+            b in 1usize..96,
+            mean_seq in 4usize..4096,
+            sparsity in 0.05f64..0.95,
+        ) {
+            let exec = SimBase::new(&HardwareSpec::v100_16gb());
+            let model = ModelConfig::opt_6_7b();
+            let fp16 = AdmissionPolicy::Alisa {
+                sparsity,
+                precision: PrecisionPolicy::fp16(),
+            };
+            let int8 = AdmissionPolicy::Alisa {
+                sparsity,
+                precision: PrecisionPolicy::int8(),
+            };
+            prop_assert_eq!(
+                fp16.step_overhead(&exec, &model, b, mean_seq),
+                legacy_step_overhead(&exec, &model, b, mean_seq, sparsity, false),
+                "FP16-everywhere diverged from the uncompressed formula"
+            );
+            prop_assert_eq!(
+                int8.step_overhead(&exec, &model, b, mean_seq),
+                legacy_step_overhead(&exec, &model, b, mean_seq, sparsity, true),
+                "uniform INT8 diverged from the flat-halving formula"
+            );
+        }
+
+        /// End to end: for any seed the FP16-everywhere serving report
+        /// is byte-for-byte stable, insensitive to the cold-tail
+        /// settings that a zero tail makes inert, and distinct from the
+        /// INT8 report once offload traffic exists. Together with the
+        /// step identity above (and the pre-refactor golden fixtures in
+        /// `tests/precision_backcompat.rs`) this pins the whole legacy
+        /// pricing surface per seed.
+        #[test]
+        fn fp16_reports_are_stable_per_seed(
+            seed in 0u64..1_000_000,
+            rate in 0.5f64..8.0,
+            n in 4usize..32,
+        ) {
+            let trace = Trace::generate(
+                &ArrivalProcess::Poisson { rate },
+                &LengthModel::alpaca().with_max_output(32),
+                n,
+                seed,
+            );
+            let run = |precision: PrecisionPolicy| {
+                let cfg = ServeConfig::new(
+                    ModelConfig::opt_6_7b(),
+                    HardwareSpec::v100_16gb(),
+                    AdmissionPolicy::Alisa {
+                        sparsity: 0.8,
+                        precision,
+                    },
+                );
+                ServeEngine::new(cfg).run(&trace).canonical_text()
+            };
+            let fp16 = run(PrecisionPolicy::fp16());
+            // Determinism per seed.
+            prop_assert_eq!(&fp16, &run(PrecisionPolicy::fp16()));
+            // A zero-fraction cold tail and the handoff width are inert
+            // for a single-replica engine: the report must not move.
+            prop_assert_eq!(
+                &fp16,
+                &run(PrecisionPolicy::fp16().with_cold_tail(0.0, KvPrecision::Int4))
+            );
+            prop_assert_eq!(
+                &fp16,
+                &run(PrecisionPolicy::fp16().with_handoff(KvPrecision::Int8))
+            );
+        }
+    }
+}

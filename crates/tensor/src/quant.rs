@@ -62,6 +62,313 @@ impl std::fmt::Display for QuantBits {
     }
 }
 
+/// Storage precision of KV bytes in one cache-state region: the working
+/// FP16, or an integer width from [`QuantBits`].
+///
+/// This is the unit the per-region [`PrecisionPolicy`] assigns. FP16 is
+/// "unquantized": no codebook, no quantize/dequantize pass, bytes move
+/// at full width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum KvPrecision {
+    /// Working precision — 2 bytes per element, no quantization pass.
+    Fp16,
+    /// Channel-wise INT8 (the paper's §V-B default for offloaded KV).
+    Int8,
+    /// Channel-wise INT4 (the paper's cited \[14\] extension; two codes
+    /// per byte).
+    Int4,
+}
+
+impl KvPrecision {
+    /// Bits per stored element.
+    pub fn bits(self) -> u32 {
+        match self {
+            KvPrecision::Fp16 => 16,
+            KvPrecision::Int8 => 8,
+            KvPrecision::Int4 => 4,
+        }
+    }
+
+    /// The integer quantizer behind this precision, or `None` for FP16.
+    pub fn quant_bits(self) -> Option<QuantBits> {
+        match self {
+            KvPrecision::Fp16 => None,
+            KvPrecision::Int8 => Some(QuantBits::Int8),
+            KvPrecision::Int4 => Some(QuantBits::Int4),
+        }
+    }
+
+    /// Whether storing at this precision requires a quantize pass (and
+    /// reading it back a dequantize pass).
+    pub fn is_quantized(self) -> bool {
+        self != KvPrecision::Fp16
+    }
+
+    /// Bytes occupied by KV data that is `fp16_bytes` wide at working
+    /// precision: FP16 passes through, INT8 halves, INT4 quarters.
+    /// Integer division, so INT8 reproduces the legacy `bytes / 2`
+    /// compression accounting bit-for-bit.
+    pub fn bytes_of_fp16(self, fp16_bytes: u64) -> u64 {
+        match self {
+            KvPrecision::Fp16 => fp16_bytes,
+            KvPrecision::Int8 => fp16_bytes / 2,
+            KvPrecision::Int4 => fp16_bytes / 4,
+        }
+    }
+}
+
+impl std::fmt::Display for KvPrecision {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KvPrecision::Fp16 => write!(f, "FP16"),
+            KvPrecision::Int8 => write!(f, "INT8"),
+            KvPrecision::Int4 => write!(f, "INT4"),
+        }
+    }
+}
+
+/// The cache-state regions a KV byte can live in, each of which a
+/// [`PrecisionPolicy`] prices independently.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CacheRegion {
+    /// GPU-resident hot working set (SWA's local window + cached
+    /// globals) — read by attention every step.
+    GpuResident,
+    /// CPU-resident sparse remainder — offloaded tokens that may be
+    /// pulled back when the global set drifts onto them.
+    CpuResident,
+    /// The coldest tail of the CPU remainder (oldest offloaded tokens,
+    /// least likely to be re-selected) — a `cold_frac` share of the
+    /// CPU-resident bytes.
+    CpuColdTail,
+    /// In-flight handoff bytes: prefilled KV moving between replicas in
+    /// a disaggregated fleet.
+    Handoff,
+}
+
+impl CacheRegion {
+    /// All regions, in hot-to-cold order.
+    pub const ALL: [CacheRegion; 4] = [
+        CacheRegion::GpuResident,
+        CacheRegion::CpuResident,
+        CacheRegion::CpuColdTail,
+        CacheRegion::Handoff,
+    ];
+}
+
+impl std::fmt::Display for CacheRegion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CacheRegion::GpuResident => write!(f, "gpu"),
+            CacheRegion::CpuResident => write!(f, "cpu"),
+            CacheRegion::CpuColdTail => write!(f, "cold"),
+            CacheRegion::Handoff => write!(f, "handoff"),
+        }
+    }
+}
+
+/// Per-cache-state-region KV precision: which [`KvPrecision`] each
+/// [`CacheRegion`] stores its bytes at.
+///
+/// This replaces the old `compression: bool` flag everywhere bytes are
+/// priced (cost model, token store, schedulers, admission, handoffs).
+/// The two legacy operating points are exact special cases:
+///
+/// * [`PrecisionPolicy::fp16`] (FP16 everywhere) prices identically to
+///   the old `compression: false`,
+/// * [`PrecisionPolicy::int8`] (CPU remainder at INT8, everything else
+///   FP16) prices identically to the old `compression: true` flat
+///   halving of link bytes.
+///
+/// Beyond them, [`PrecisionPolicy::mixed`] keeps the GPU hot window at
+/// FP16 while pushing the CPU remainder to INT8 with an INT4 cold tail
+/// and quantizing replica handoffs — the CSR-style "hot tokens high
+/// precision, cold tokens few bits" operating point.
+///
+/// ```
+/// use alisa_tensor::quant::{CacheRegion, KvPrecision, PrecisionPolicy};
+///
+/// let mixed = PrecisionPolicy::mixed();
+/// assert_eq!(mixed.precision(CacheRegion::GpuResident), KvPrecision::Fp16);
+/// assert_eq!(mixed.precision(CacheRegion::CpuColdTail), KvPrecision::Int4);
+/// // 1 MiB of FP16-wide CPU KV stores at 3/8 the bytes under
+/// // INT8 + half-INT4-cold-tail: 0.5·(1/2) + 0.5·(1/4).
+/// assert_eq!(mixed.cpu_bytes(1 << 20), 384 * 1024);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PrecisionPolicy {
+    /// Precision of the GPU-resident hot working set.
+    pub gpu: KvPrecision,
+    /// Precision of the CPU-resident sparse remainder (its warm share).
+    pub cpu: KvPrecision,
+    /// Precision of the coldest `cold_frac` share of the CPU remainder.
+    pub cold: KvPrecision,
+    /// Fraction of CPU-resident bytes in the cold tail, in `[0, 1]`.
+    /// Zero disables the tail (the whole remainder stores at `cpu`).
+    pub cold_frac: f64,
+    /// Precision of in-flight replica handoff bytes.
+    pub handoff: KvPrecision,
+}
+
+impl PrecisionPolicy {
+    /// FP16 in every region — byte-identical to the legacy
+    /// `compression: false` pricing.
+    pub fn fp16() -> Self {
+        PrecisionPolicy {
+            gpu: KvPrecision::Fp16,
+            cpu: KvPrecision::Fp16,
+            cold: KvPrecision::Fp16,
+            cold_frac: 0.0,
+            handoff: KvPrecision::Fp16,
+        }
+    }
+
+    /// The paper's §V-B operating point: CPU-resident KV at INT8, the
+    /// GPU hot window and handoffs at FP16 — byte-identical to the
+    /// legacy `compression: true` pricing (a flat halving of offload
+    /// link bytes).
+    pub fn int8() -> Self {
+        PrecisionPolicy {
+            cpu: KvPrecision::Int8,
+            cold: KvPrecision::Int8,
+            ..PrecisionPolicy::fp16()
+        }
+    }
+
+    /// Mixed precision: GPU hot window FP16, CPU remainder INT8 with
+    /// half of it in an INT4 cold tail, handoffs INT8.
+    pub fn mixed() -> Self {
+        PrecisionPolicy {
+            cpu: KvPrecision::Int8,
+            cold: KvPrecision::Int4,
+            cold_frac: 0.5,
+            handoff: KvPrecision::Int8,
+            ..PrecisionPolicy::fp16()
+        }
+    }
+
+    /// The legacy boolean's mapping: `false` → [`PrecisionPolicy::fp16`],
+    /// `true` → [`PrecisionPolicy::int8`].
+    pub fn from_legacy_compression(compression: bool) -> Self {
+        if compression {
+            PrecisionPolicy::int8()
+        } else {
+            PrecisionPolicy::fp16()
+        }
+    }
+
+    /// Overrides the GPU-resident precision.
+    pub fn with_gpu(mut self, p: KvPrecision) -> Self {
+        self.gpu = p;
+        self
+    }
+
+    /// Overrides the CPU-resident (warm-share) precision.
+    pub fn with_cpu(mut self, p: KvPrecision) -> Self {
+        self.cpu = p;
+        self
+    }
+
+    /// Configures the cold tail: a `frac` share of CPU-resident bytes
+    /// stored at `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frac` is not in `[0, 1]`.
+    pub fn with_cold_tail(mut self, frac: f64, p: KvPrecision) -> Self {
+        assert!((0.0..=1.0).contains(&frac), "cold_frac must be in [0, 1]");
+        self.cold_frac = frac;
+        self.cold = p;
+        self
+    }
+
+    /// Overrides the handoff precision.
+    pub fn with_handoff(mut self, p: KvPrecision) -> Self {
+        self.handoff = p;
+        self
+    }
+
+    /// The precision assigned to `region`.
+    pub fn precision(&self, region: CacheRegion) -> KvPrecision {
+        match region {
+            CacheRegion::GpuResident => self.gpu,
+            CacheRegion::CpuResident => self.cpu,
+            CacheRegion::CpuColdTail => self.cold,
+            CacheRegion::Handoff => self.handoff,
+        }
+    }
+
+    /// Bytes stored on the GPU for KV that is `fp16_bytes` wide at
+    /// working precision.
+    pub fn gpu_bytes(&self, fp16_bytes: u64) -> u64 {
+        self.gpu.bytes_of_fp16(fp16_bytes)
+    }
+
+    /// Bytes stored on the CPU for KV that is `fp16_bytes` wide at
+    /// working precision: the warm share at `cpu` precision plus the
+    /// `cold_frac` tail at `cold` precision. With no cold tail this is
+    /// a single integer scaling, preserving the legacy arithmetic
+    /// exactly.
+    pub fn cpu_bytes(&self, fp16_bytes: u64) -> u64 {
+        if self.cold_frac == 0.0 {
+            return self.cpu.bytes_of_fp16(fp16_bytes);
+        }
+        let cold_fp16 = ((fp16_bytes as f64 * self.cold_frac).round() as u64).min(fp16_bytes);
+        let warm_fp16 = fp16_bytes - cold_fp16;
+        self.cpu.bytes_of_fp16(warm_fp16) + self.cold.bytes_of_fp16(cold_fp16)
+    }
+
+    /// Bytes that cross the link when `fp16_bytes` of working-precision
+    /// KV is *reloaded* from the CPU remainder back to the GPU.
+    ///
+    /// Reloads are re-selected tokens, and the cold tail holds the
+    /// tokens least likely to be re-selected — so reload traffic moves
+    /// at the warm-share `cpu` width, not the cold-blended
+    /// [`PrecisionPolicy::cpu_bytes`] average. With no cold tail the
+    /// two widths coincide.
+    pub fn cpu_reload_bytes(&self, fp16_bytes: u64) -> u64 {
+        self.cpu.bytes_of_fp16(fp16_bytes)
+    }
+
+    /// Bytes that cross the fabric when `fp16_bytes` of working-precision
+    /// KV is handed between replicas.
+    pub fn handoff_bytes(&self, fp16_bytes: u64) -> u64 {
+        self.handoff.bytes_of_fp16(fp16_bytes)
+    }
+
+    /// Whether the CPU-resident remainder involves any quantization
+    /// (warm share or cold tail) — i.e. whether offload traffic pays a
+    /// quantize/dequantize pass.
+    pub fn quantizes_cpu(&self) -> bool {
+        self.cpu.is_quantized() || (self.cold_frac > 0.0 && self.cold.is_quantized())
+    }
+
+    /// Whether every region stores at FP16 (no quantization anywhere).
+    pub fn is_fp16_everywhere(&self) -> bool {
+        CacheRegion::ALL
+            .iter()
+            .all(|&r| self.precision(r) == KvPrecision::Fp16)
+    }
+
+    /// Compact figure label, e.g. `gpu:FP16 cpu:INT8 cold:INT4@0.50 ho:INT8`.
+    pub fn label(&self) -> String {
+        let mut s = format!("gpu:{} cpu:{}", self.gpu, self.cpu);
+        if self.cold_frac > 0.0 {
+            s.push_str(&format!(" cold:{}@{:.2}", self.cold, self.cold_frac));
+        }
+        if self.handoff != KvPrecision::Fp16 {
+            s.push_str(&format!(" ho:{}", self.handoff));
+        }
+        s
+    }
+}
+
+impl std::fmt::Display for PrecisionPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
 /// Per-channel quantization parameters: scale `λ` and zero point `z`.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ChannelParams {
@@ -71,12 +378,39 @@ pub struct ChannelParams {
     pub zero_point: f32,
 }
 
+/// Packs integer codes at the given bit width: INT8 codes pass through,
+/// INT4 codes pack two per byte (even index in the low nibble, odd in
+/// the high nibble). The inverse is [`unpack_codes`].
+pub fn pack_codes(codes: &[u8], bits: QuantBits) -> Vec<u8> {
+    match bits {
+        QuantBits::Int8 => codes.to_vec(),
+        QuantBits::Int4 => {
+            let mut packed = vec![0u8; codes.len().div_ceil(2)];
+            for (i, &c) in codes.iter().enumerate() {
+                debug_assert!(c <= 0xF, "INT4 code {c} exceeds 4 bits");
+                packed[i / 2] |= (c & 0xF) << ((i % 2) * 4);
+            }
+            packed
+        }
+    }
+}
+
+/// Unpacks `n` integer codes stored by [`pack_codes`] at `bits`.
+pub fn unpack_codes(packed: &[u8], n: usize, bits: QuantBits) -> Vec<u8> {
+    match bits {
+        QuantBits::Int8 => packed[..n].to_vec(),
+        QuantBits::Int4 => (0..n)
+            .map(|i| (packed[i / 2] >> ((i % 2) * 4)) & 0xF)
+            .collect(),
+    }
+}
+
 /// A channel-wise quantized matrix: integer codes + per-column parameters.
 ///
-/// Stores one `u8` code per element regardless of [`QuantBits`] for
-/// implementation simplicity; the *accounted* size used by the memory
-/// simulator comes from [`QuantizedMatrix::stored_bytes`], which honors
-/// the nominal bit width (INT4 packs two codes per byte).
+/// Codes are stored *packed* at the nominal bit width (INT4 holds two
+/// codes per byte), so the bytes the struct actually holds and the
+/// bytes [`QuantizedMatrix::stored_bytes`] accounts to the memory
+/// simulator agree — `stored_bytes` is the single source of truth.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct QuantizedMatrix {
     rows: usize,
@@ -107,10 +441,26 @@ impl QuantizedMatrix {
         &self.params
     }
 
+    /// The integer code of element `(r, c)`, unpacked.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn code(&self, r: usize, c: usize) -> u8 {
+        assert!(r < self.rows && c < self.cols, "code index out of range");
+        let i = r * self.cols + c;
+        match self.bits {
+            QuantBits::Int8 => self.codes[i],
+            QuantBits::Int4 => (self.codes[i / 2] >> ((i % 2) * 4)) & 0xF,
+        }
+    }
+
     /// The bytes this matrix occupies in (simulated) memory: packed codes
-    /// plus one FP16 scale/zero-point pair per channel.
+    /// plus one FP16 scale/zero-point pair per channel. Equals the real
+    /// in-struct code storage by construction.
     pub fn stored_bytes(&self) -> usize {
-        self.bits.bytes_for(self.codes.len()) + self.params.len() * 4
+        debug_assert_eq!(self.codes.len(), self.bits.bytes_for(self.rows * self.cols));
+        self.codes.len() + self.params.len() * 4
     }
 }
 
@@ -167,7 +517,7 @@ pub fn quantize(m: &Matrix, bits: QuantBits) -> Result<QuantizedMatrix> {
         rows: m.rows(),
         cols: m.cols(),
         bits,
-        codes,
+        codes: pack_codes(&codes, bits),
         params,
     })
 }
@@ -178,11 +528,37 @@ pub fn quantize(m: &Matrix, bits: QuantBits) -> Result<QuantizedMatrix> {
 /// means the channel minimum, recovered via the zero-point convention).
 pub fn dequantize(q: &QuantizedMatrix) -> Matrix {
     let mut out = Matrix::zeros(q.rows, q.cols);
-    for r in 0..q.rows {
-        for c in 0..q.cols {
-            let p = q.params[c];
-            let code = q.codes[r * q.cols + c] as f32;
-            out.set(r, c, p.scale * (code - p.zero_point));
+    if q.rows == 0 || q.cols == 0 {
+        return out;
+    }
+    let data = out.as_mut_slice();
+    // One branch on the bit width outside the hot loop; per-row
+    // chunking pairs each output row with the params slice so the
+    // inner loops are straight zips with no index arithmetic beyond
+    // the INT4 shift/mask.
+    match q.bits {
+        QuantBits::Int8 => {
+            for (row_out, row_codes) in data
+                .chunks_exact_mut(q.cols)
+                .zip(q.codes.chunks_exact(q.cols))
+            {
+                for ((v, &code), p) in row_out.iter_mut().zip(row_codes).zip(&q.params) {
+                    *v = p.scale * (code as f32 - p.zero_point);
+                }
+            }
+        }
+        QuantBits::Int4 => {
+            // Packed nibble pairs can straddle row boundaries when the
+            // column count is odd, so a single flat element counter
+            // tracks the nibble position.
+            let mut i = 0usize;
+            for row_out in data.chunks_exact_mut(q.cols) {
+                for (v, p) in row_out.iter_mut().zip(&q.params) {
+                    let code = (q.codes[i / 2] >> ((i % 2) * 4)) & 0xF;
+                    *v = p.scale * (code as f32 - p.zero_point);
+                    i += 1;
+                }
+            }
         }
     }
     out
@@ -372,5 +748,100 @@ mod tests {
         let q = quantize(&m, QuantBits::Int8).unwrap();
         assert_eq!(q.rows(), 0);
         assert_eq!(dequantize(&q).shape(), (0, 3));
+    }
+
+    #[test]
+    fn int4_codes_pack_two_per_byte() {
+        let codes: Vec<u8> = (0..7).map(|i| i % 16).collect();
+        let packed = pack_codes(&codes, QuantBits::Int4);
+        assert_eq!(packed.len(), 4, "7 nibbles pack into 4 bytes");
+        assert_eq!(packed[0], 0x10, "low nibble first: codes 0, 1");
+        assert_eq!(unpack_codes(&packed, 7, QuantBits::Int4), codes);
+        // INT8 passes through untouched.
+        assert_eq!(pack_codes(&codes, QuantBits::Int8), codes);
+    }
+
+    #[test]
+    fn int4_matrix_storage_matches_accounting() {
+        // An odd element count exercises the half-filled trailing byte.
+        let m = Matrix::from_rows(&[
+            vec![0.1, -0.5, 0.9],
+            vec![0.7, 0.3, -0.2],
+            vec![-0.9, 0.0, 0.4],
+        ]);
+        let q = quantize(&m, QuantBits::Int4).unwrap();
+        // 9 codes → 5 packed bytes + 3 channels × 4 param bytes.
+        assert_eq!(q.stored_bytes(), 5 + 12);
+        // Every code survives the pack→unpack round trip: decode error
+        // stays within one quantization step per channel.
+        let d = dequantize(&q);
+        for c in 0..3 {
+            let step = q.params()[c].scale.max(1e-6);
+            for r in 0..3 {
+                assert!((m.get(r, c) - d.get(r, c)).abs() <= step);
+            }
+        }
+    }
+
+    #[test]
+    fn precision_bits_and_bytes() {
+        assert_eq!(KvPrecision::Fp16.bits(), 16);
+        assert_eq!(KvPrecision::Int8.bits(), 8);
+        assert_eq!(KvPrecision::Int4.bits(), 4);
+        assert_eq!(KvPrecision::Fp16.quant_bits(), None);
+        assert_eq!(KvPrecision::Int4.quant_bits(), Some(QuantBits::Int4));
+        assert_eq!(KvPrecision::Fp16.bytes_of_fp16(1001), 1001);
+        assert_eq!(KvPrecision::Int8.bytes_of_fp16(1001), 500);
+        assert_eq!(KvPrecision::Int4.bytes_of_fp16(1001), 250);
+        assert!(!KvPrecision::Fp16.is_quantized());
+        assert!(KvPrecision::Int4.is_quantized());
+    }
+
+    #[test]
+    fn legacy_policies_reproduce_boolean_pricing() {
+        let fp16 = PrecisionPolicy::from_legacy_compression(false);
+        let int8 = PrecisionPolicy::from_legacy_compression(true);
+        assert!(fp16.is_fp16_everywhere());
+        assert!(!int8.is_fp16_everywhere());
+        for bytes in [0u64, 1, 7, 1024, 999_999] {
+            assert_eq!(fp16.cpu_bytes(bytes), bytes);
+            assert_eq!(int8.cpu_bytes(bytes), bytes / 2, "legacy flat halving");
+            // Legacy code never repriced GPU or handoff bytes.
+            assert_eq!(int8.gpu_bytes(bytes), bytes);
+            assert_eq!(int8.handoff_bytes(bytes), bytes);
+        }
+        assert!(!fp16.quantizes_cpu());
+        assert!(int8.quantizes_cpu());
+    }
+
+    #[test]
+    fn mixed_policy_blends_cold_tail() {
+        let mixed = PrecisionPolicy::mixed();
+        assert_eq!(mixed.precision(CacheRegion::GpuResident), KvPrecision::Fp16);
+        assert_eq!(mixed.precision(CacheRegion::CpuResident), KvPrecision::Int8);
+        assert_eq!(mixed.precision(CacheRegion::CpuColdTail), KvPrecision::Int4);
+        assert_eq!(mixed.precision(CacheRegion::Handoff), KvPrecision::Int8);
+        // Half at 1/2 width + half at 1/4 width = 3/8 of FP16.
+        assert_eq!(mixed.cpu_bytes(1 << 20), 384 * 1024);
+        assert_eq!(mixed.handoff_bytes(1 << 20), 1 << 19);
+        assert!(mixed.quantizes_cpu());
+        assert!(mixed.label().contains("cold:INT4"));
+    }
+
+    #[test]
+    fn cold_tail_builder_validates_and_applies() {
+        let p = PrecisionPolicy::fp16().with_cold_tail(1.0, KvPrecision::Int4);
+        assert_eq!(p.cpu_bytes(1000), 250, "full tail stores everything INT4");
+        let q = PrecisionPolicy::int8()
+            .with_gpu(KvPrecision::Int8)
+            .with_handoff(KvPrecision::Int4);
+        assert_eq!(q.gpu_bytes(1000), 500);
+        assert_eq!(q.handoff_bytes(1000), 250);
+    }
+
+    #[test]
+    #[should_panic(expected = "cold_frac")]
+    fn cold_tail_rejects_bad_fraction() {
+        let _ = PrecisionPolicy::fp16().with_cold_tail(1.5, KvPrecision::Int4);
     }
 }

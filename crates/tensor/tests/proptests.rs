@@ -2,7 +2,9 @@
 
 use alisa_tensor::nn::{softmax, softmax_inplace};
 use alisa_tensor::ops::{col_sums, col_sums_range, matmul, matmul_bt};
-use alisa_tensor::quant::{dequantize, quantize, QuantBits};
+use alisa_tensor::quant::{
+    dequantize, pack_codes, quantize, unpack_codes, KvPrecision, PrecisionPolicy, QuantBits,
+};
 use alisa_tensor::stats::spearman;
 use alisa_tensor::topk::{argsort_desc, top_k_indices};
 use alisa_tensor::Matrix;
@@ -156,6 +158,92 @@ proptest! {
         let g = m.gather_rows(&indices).unwrap();
         for (dst, &src) in indices.iter().enumerate() {
             prop_assert_eq!(g.row(dst), m.row(src));
+        }
+    }
+}
+
+fn precisions() -> [KvPrecision; 3] {
+    // Widest to narrowest: byte accounting must be monotone along this.
+    [KvPrecision::Fp16, KvPrecision::Int8, KvPrecision::Int4]
+}
+
+proptest! {
+    /// Accounted KV bytes are monotone non-increasing in bit-width for
+    /// every region split: whichever region's precision is narrowed —
+    /// GPU hot window, CPU warm share, cold tail, or handoff — and for
+    /// any cold-tail fraction, the stored/shipped bytes never grow.
+    #[test]
+    fn region_bytes_monotone_in_bit_width(
+        fp16_bytes in 0u64..(1u64 << 40),
+        cold_frac in 0.0f64..1.0,
+    ) {
+        let ps = precisions();
+        for w in ps.windows(2) {
+            let (wide, narrow) = (w[0], w[1]);
+            prop_assert!(narrow.bytes_of_fp16(fp16_bytes) <= wide.bytes_of_fp16(fp16_bytes));
+            // GPU region.
+            let g_wide = PrecisionPolicy::fp16().with_gpu(wide);
+            let g_narrow = PrecisionPolicy::fp16().with_gpu(narrow);
+            prop_assert!(g_narrow.gpu_bytes(fp16_bytes) <= g_wide.gpu_bytes(fp16_bytes));
+            // Handoff region.
+            let h_wide = PrecisionPolicy::fp16().with_handoff(wide);
+            let h_narrow = PrecisionPolicy::fp16().with_handoff(narrow);
+            prop_assert!(h_narrow.handoff_bytes(fp16_bytes) <= h_wide.handoff_bytes(fp16_bytes));
+            // CPU warm share, at every cold-tail split and tail width.
+            for cold in ps {
+                let c_wide = PrecisionPolicy::fp16()
+                    .with_cpu(wide)
+                    .with_cold_tail(cold_frac, cold);
+                let c_narrow = PrecisionPolicy::fp16()
+                    .with_cpu(narrow)
+                    .with_cold_tail(cold_frac, cold);
+                prop_assert!(
+                    c_narrow.cpu_bytes(fp16_bytes) <= c_wide.cpu_bytes(fp16_bytes),
+                    "warm {wide}->{narrow} grew bytes at cold_frac {cold_frac}"
+                );
+                // Narrowing the tail itself is monotone too.
+                let t_wide = PrecisionPolicy::fp16().with_cold_tail(cold_frac, wide);
+                let t_narrow = PrecisionPolicy::fp16().with_cold_tail(cold_frac, narrow);
+                prop_assert!(t_narrow.cpu_bytes(fp16_bytes) <= t_wide.cpu_bytes(fp16_bytes));
+            }
+        }
+        // The mixed policy never accounts more than flat INT8, which
+        // never accounts more than FP16 — the fig15 ordering.
+        let fp16 = PrecisionPolicy::fp16().cpu_bytes(fp16_bytes);
+        let int8 = PrecisionPolicy::int8().cpu_bytes(fp16_bytes);
+        let mixed = PrecisionPolicy::mixed().cpu_bytes(fp16_bytes);
+        prop_assert!(mixed <= int8 && int8 <= fp16);
+    }
+
+    /// INT4 packing round-trips every code value: two codes per byte in,
+    /// the same codes back out, at exactly the accounted byte count.
+    #[test]
+    fn int4_pack_unpack_round_trips_all_codes(
+        codes in proptest::collection::vec(0u8..16, 0..257),
+    ) {
+        let packed = pack_codes(&codes, QuantBits::Int4);
+        prop_assert_eq!(packed.len(), QuantBits::Int4.bytes_for(codes.len()));
+        prop_assert_eq!(unpack_codes(&packed, codes.len(), QuantBits::Int4), codes.clone());
+        // INT8 is the identity.
+        let packed8 = pack_codes(&codes, QuantBits::Int8);
+        prop_assert_eq!(unpack_codes(&packed8, codes.len(), QuantBits::Int8), codes);
+    }
+
+    /// A quantized matrix's in-struct storage equals its accounted
+    /// bytes, and every unpacked code is a valid level.
+    #[test]
+    fn quantized_matrix_storage_agrees_with_accounting(m in matrix(12)) {
+        for bits in [QuantBits::Int8, QuantBits::Int4] {
+            let q = quantize(&m, bits).unwrap();
+            prop_assert_eq!(
+                q.stored_bytes(),
+                bits.bytes_for(m.rows() * m.cols()) + m.cols() * 4
+            );
+            for r in 0..m.rows() {
+                for c in 0..m.cols() {
+                    prop_assert!((q.code(r, c) as u32) <= bits.levels());
+                }
+            }
         }
     }
 }

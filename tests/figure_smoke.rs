@@ -86,3 +86,8 @@ fn fig13_online_serving_runs() {
 fn fig14_multi_replica_runs() {
     run_quick("fig14_multi_replica");
 }
+
+#[test]
+fn fig15_mixed_precision_runs() {
+    run_quick("fig15_mixed_precision");
+}
