@@ -1,0 +1,90 @@
+//! Criterion benchmarks for the multi-turn session path: conversation
+//! trace generation (`SessionModel` + `Trace::generate_sessions`), the
+//! retention hot path (`SessionKvCache` retain/peek/take under LRU
+//! pressure — touched once per admission and once per completion), and
+//! the retention-enabled engine loop end to end. A session sweep runs
+//! thousands of retention probes, so these bound fig16's turnaround.
+
+use alisa_kvcache::SessionKvCache;
+use alisa_memsim::HardwareSpec;
+use alisa_model::ModelConfig;
+use alisa_serve::{AdmissionPolicy, ArrivalProcess, RetentionCfg, ServeConfig, ServeEngine, Trace};
+use alisa_workloads::SessionModel;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn chat_trace(sessions: usize) -> Trace {
+    Trace::generate_sessions(
+        &ArrivalProcess::Poisson { rate: 1.0 },
+        &SessionModel::chat().with_max_turns(5),
+        sessions,
+        7,
+    )
+}
+
+fn bench_session_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("session_trace");
+    for sessions in [32usize, 128] {
+        g.bench_with_input(
+            BenchmarkId::new("generate", sessions),
+            &sessions,
+            |b, &s| {
+                b.iter(|| black_box(chat_trace(s)));
+            },
+        );
+    }
+    let t = chat_trace(128);
+    let text = t.to_text();
+    g.bench_function("codec_round_trip_128", |b| {
+        b.iter(|| black_box(Trace::from_text(&text).unwrap()));
+    });
+    g.finish();
+}
+
+fn bench_retention_hot_path(c: &mut Criterion) {
+    let mut g = c.benchmark_group("session_kv");
+    // The admission-side sequence at steady state: probe, consume the
+    // hit, retain the successor cache — across a pool under LRU
+    // pressure (cap holds ~32 of 64 sessions).
+    g.bench_function("retain_take_lru64", |b| {
+        b.iter(|| {
+            let mut kv = SessionKvCache::new(32 * 1024);
+            for round in 0..4u64 {
+                for sid in 0..64usize {
+                    let seq = 128 + (round as usize) * 64;
+                    if kv.peek(sid, seq).is_some() {
+                        kv.take(sid, seq);
+                    }
+                    kv.retain(sid, seq, 1024, u64::MAX);
+                }
+            }
+            black_box(kv.stats())
+        });
+    });
+    g.finish();
+}
+
+fn bench_reuse_engine(c: &mut Criterion) {
+    let model = ModelConfig::opt_6_7b();
+    let hw = HardwareSpec::v100_16gb();
+    let t = chat_trace(32);
+    let mut g = c.benchmark_group("serve_engine_sessions");
+    for (tag, retention) in [("no_reuse", None), ("reuse", Some(RetentionCfg::half()))] {
+        let mut cfg = ServeConfig::new(model.clone(), hw.clone(), AdmissionPolicy::alisa());
+        if let Some(r) = retention {
+            cfg = cfg.with_session_reuse(r);
+        }
+        let engine = ServeEngine::new(cfg);
+        g.bench_function(tag, |b| {
+            b.iter(|| black_box(engine.run(&t)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_session_generation,
+    bench_retention_hot_path,
+    bench_reuse_engine
+);
+criterion_main!(benches);

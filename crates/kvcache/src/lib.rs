@@ -14,13 +14,18 @@
 //! * [`head_split::HeadSplitStore`] — a static fraction of every token's
 //!   KV pinned to CPU, FlexGen's substrate,
 //! * [`policies`] — eviction orderings, including the Belady oracle the
-//!   paper cites as the impractical upper bound (§III-C).
+//!   paper cites as the impractical upper bound (§III-C),
+//! * [`sessions::SessionKvCache`] — retained per-session KV caches for
+//!   multi-turn prefix reuse, LRU-evicted under a byte budget so
+//!   retention competes with live admissions for the same HBM.
 
 pub mod head_split;
 pub mod paged;
 pub mod policies;
+pub mod sessions;
 pub mod token_store;
 
 pub use head_split::HeadSplitStore;
 pub use paged::PagedKvStore;
+pub use sessions::{RetainedSession, ReuseStats, SessionKvCache};
 pub use token_store::{Location, TokenKvStore};

@@ -110,6 +110,25 @@ pub trait StepExecutor {
         self.handoff_time(precision.bytes_of_fp16(fp16_bytes))
             + 2.0 * self.quant_time_at(fp16_bytes, precision)
     }
+
+    /// Wall-clock seconds of the *cross*-attention in a prefix-reuse
+    /// prefill: `s_new` suffix query tokens each attending `kv_tokens`
+    /// of already-resident context KV (a reused session prefix). Only
+    /// the context-length-dependent attention work is priced — the
+    /// suffix's projections, causal self-attention, and FFN are covered
+    /// by [`StepExecutor::prefill_time`] over the suffix. Stated in
+    /// terms of the primitive methods: the attended-KV-dependent part
+    /// of a decode step with `s_new` query rows.
+    fn context_attention_time(
+        &self,
+        model: &ModelConfig,
+        s_new: usize,
+        kv_tokens: usize,
+        eff: f64,
+    ) -> f64 {
+        (self.decode_time(model, s_new, kv_tokens, eff) - self.decode_time(model, s_new, 1, eff))
+            .max(0.0)
+    }
 }
 
 /// Mutable simulation state shared by all system simulators: the cost

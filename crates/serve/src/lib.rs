@@ -14,13 +14,18 @@
 //! * [`arrivals`] — seeded Poisson, bursty on/off, and closed-loop
 //!   arrival processes,
 //! * [`trace`] — validated, replayable traces (text round-trippable)
-//!   with lengths drawn from `alisa_workloads::LengthModel`,
+//!   with lengths drawn from `alisa_workloads::LengthModel`, carrying
+//!   real session ids for multi-turn conversations
+//!   (`alisa_workloads::SessionModel` + [`Trace::generate_sessions`]),
 //! * [`admission`] — the KV-budget reservation rules: dense paged
 //!   (vLLM), static split (FlexGen), and ALISA's sparsity-aware
 //!   `(1 − sparsity) ×` reservation that admits a several-fold larger
 //!   concurrent batch from the same HBM,
 //! * [`engine`] — the continuous-batching loop with FCFS admission,
-//!   queue timeouts, and closed-loop gating,
+//!   queue timeouts, closed-loop gating, and session-KV retention: a
+//!   turn whose session prefix KV is still resident skips prefilling
+//!   the shared prefix and only pays attention over the retained
+//!   sparse KV ([`RetentionCfg`]),
 //! * [`router`] — the multi-replica layer: a shared [`Router`] over N
 //!   replica engines with pluggable load balancing, replica-local
 //!   admission, optional cross-replica re-queue, and prefill/decode
@@ -64,9 +69,10 @@ pub mod router;
 pub mod trace;
 
 pub use admission::AdmissionPolicy;
+pub use alisa_kvcache::{ReuseStats, SessionKvCache};
 pub use arrivals::ArrivalProcess;
-pub use engine::{derived_slo, ClosedLoopCfg, ServeConfig, ServeEngine};
+pub use engine::{derived_slo, ClosedLoopCfg, PrefillJob, RetentionCfg, ServeConfig, ServeEngine};
 pub use metrics::{LatencyStats, ServeReport, ServeSample, SloSpec};
 pub use request::{RejectReason, Request, RequestState};
 pub use router::{DisaggCfg, LoadBalancePolicy, Router, RouterConfig, RouterReport};
-pub use trace::{Trace, TraceEntry, TraceError};
+pub use trace::{SessionRef, Trace, TraceEntry, TraceError};

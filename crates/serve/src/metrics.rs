@@ -6,6 +6,7 @@
 //! plain data with a canonical text form ([`ServeReport::canonical_text`])
 //! so determinism can be asserted byte-for-byte.
 
+use alisa_kvcache::ReuseStats;
 use serde::{Deserialize, Serialize};
 
 use crate::request::{Request, RequestState};
@@ -143,6 +144,10 @@ pub struct ServeReport {
     /// Sampled queue/batch/KV timeline (decimated past 16384 samples;
     /// use the `peak_*` fields for exact extrema).
     pub timeline: Vec<ServeSample>,
+    /// Session prefix-reuse counters — `Some` only when the engine ran
+    /// with a retention budget, so legacy (no-retention) reports stay
+    /// byte-identical to pre-session ones.
+    pub reuse: Option<ReuseStats>,
 }
 
 impl ServeReport {
@@ -159,6 +164,7 @@ impl ServeReport {
         timeline: Vec<ServeSample>,
         peak_queue_depth: usize,
         peak_kv_bytes: u64,
+        reuse: Option<ReuseStats>,
     ) -> Self {
         let arrived = requests.len();
         let admitted = requests.iter().filter(|r| r.admitted_at.is_some()).count();
@@ -215,6 +221,7 @@ impl ServeReport {
             peak_queue_depth,
             peak_kv_bytes,
             timeline,
+            reuse,
         }
     }
 
@@ -268,11 +275,18 @@ impl ServeReport {
             ));
         }
         s.push_str(&format!(
-            "peaks queue={} kv={}\ntimeline {}\n",
-            self.peak_queue_depth,
-            self.peak_kv_bytes,
-            self.timeline.len()
+            "peaks queue={} kv={}\n",
+            self.peak_queue_depth, self.peak_kv_bytes,
         ));
+        // Emitted only for retention-enabled runs: legacy reports must
+        // stay byte-identical to the pre-session golden fixtures.
+        if let Some(r) = &self.reuse {
+            s.push_str(&format!(
+                "reuse hits={} misses={} reused_tokens={} evictions={} retained={} peak_retained={}\n",
+                r.hits, r.misses, r.reused_tokens, r.evictions, r.retained, r.peak_retained_bytes
+            ));
+        }
+        s.push_str(&format!("timeline {}\n", self.timeline.len()));
         for p in &self.timeline {
             s.push_str(&format!(
                 "{} {} {} {}\n",
@@ -329,6 +343,8 @@ mod tests {
             finished_at: Some(1.5),
             reject_reason: None,
             generated: 11,
+            session: None,
+            reused_prefix: 0,
         };
         assert!(slo.met_by(&r)); // ttft 0.5, tbt 0.1
         r.first_token_at = Some(1.2);

@@ -10,7 +10,7 @@
 use alisa_sched::{InvalidWorkload, Workload};
 use serde::{Deserialize, Serialize};
 
-use crate::trace::TraceEntry;
+use crate::trace::{SessionRef, TraceEntry};
 
 /// Where a request currently sits in its lifecycle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -60,6 +60,13 @@ pub struct Request {
     pub reject_reason: Option<RejectReason>,
     /// Output tokens generated so far.
     pub generated: usize,
+    /// Session identity carried over from the trace entry (`None` for
+    /// legacy single-shot requests).
+    pub session: Option<SessionRef>,
+    /// Prompt tokens whose prefill was skipped because the session's
+    /// prefix KV was still resident at admission (0 when admission
+    /// found nothing to reuse).
+    pub reused_prefix: usize,
 }
 
 impl Request {
@@ -83,6 +90,8 @@ impl Request {
             finished_at: None,
             reject_reason: None,
             generated: 0,
+            session: entry.session,
+            reused_prefix: 0,
         })
     }
 
@@ -124,11 +133,22 @@ mod tests {
     use super::*;
 
     fn entry(arrival_s: f64, prompt_len: usize, output_len: usize) -> TraceEntry {
-        TraceEntry {
-            arrival_s,
-            prompt_len,
-            output_len,
-        }
+        TraceEntry::single_shot(arrival_s, prompt_len, output_len)
+    }
+
+    #[test]
+    fn session_identity_rides_along() {
+        let r = Request::from_entry(0, &TraceEntry::turn(0.0, 32, 8, 4, 1)).unwrap();
+        assert_eq!(
+            r.session,
+            Some(SessionRef {
+                session_id: 4,
+                turn: 1
+            })
+        );
+        assert_eq!(r.reused_prefix, 0, "reuse is decided at admission");
+        let single = Request::from_entry(1, &entry(0.0, 8, 8)).unwrap();
+        assert_eq!(single.session, None);
     }
 
     #[test]

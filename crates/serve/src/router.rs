@@ -59,10 +59,11 @@
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, VecDeque};
 
+use alisa_kvcache::{ReuseStats, SessionKvCache};
 use alisa_sched::common::mix64;
 use serde::{Deserialize, Serialize};
 
-use crate::engine::{push_sample, ServeConfig, ServeEngine};
+use crate::engine::{push_sample, PrefillJob, ServeConfig, ServeEngine};
 use crate::metrics::{ServeReport, ServeSample};
 use crate::request::{RejectReason, Request, RequestState};
 use crate::trace::Trace;
@@ -79,16 +80,29 @@ pub enum LoadBalancePolicy {
     /// (reserved bytes / budget); ties break to the lowest index.
     LeastKvPressure,
     /// Session affinity: requests of the same session always land on
-    /// the same replica (the groundwork for cross-request prefix
-    /// reuse). Until traces carry real session ids, request `i` belongs
-    /// to session `i % sessions`.
+    /// the same replica, so a retained session prefix is where the next
+    /// turn arrives. The affinity key is the entry's *real*
+    /// [`crate::SessionRef::session_id`]; legacy single-shot entries
+    /// (no session id) key on their trace index, folded into `sessions`
+    /// buckets — exactly the pre-session `i % sessions` behaviour.
     Sticky {
-        /// Number of distinct sessions the trace is folded into.
+        /// Hash-bucket count the affinity key is folded into. Use
+        /// [`LoadBalancePolicy::sticky`] to key on session ids
+        /// unfolded.
         sessions: usize,
     },
 }
 
 impl LoadBalancePolicy {
+    /// Sticky session affinity keyed on unfolded session ids — the
+    /// variant multi-turn traces want (every session hashes to its own
+    /// replica choice).
+    pub fn sticky() -> Self {
+        LoadBalancePolicy::Sticky {
+            sessions: usize::MAX,
+        }
+    }
+
     /// Display name, as used in figures and reports.
     pub fn name(&self) -> &'static str {
         match self {
@@ -291,14 +305,18 @@ struct ReplicaState {
     peak_kv_bytes: u64,
     timeline: Vec<ServeSample>,
     sample_stride: usize,
+    /// Replica-local retained session caches (prefix reuse), present
+    /// when the replica's config enables retention.
+    session_kv: Option<SessionKvCache>,
 }
 
 impl ReplicaState {
     fn new(idx: usize, role: Role, engine: &ServeEngine) -> Self {
+        let budget = engine.kv_budget();
         ReplicaState {
             idx,
             role,
-            budget: engine.kv_budget(),
+            budget,
             queue: VecDeque::new(),
             running: Vec::new(),
             reserved: 0,
@@ -309,6 +327,10 @@ impl ReplicaState {
             peak_kv_bytes: 0,
             timeline: Vec::new(),
             sample_stride: 1,
+            session_kv: engine
+                .config()
+                .retention
+                .map(|r| SessionKvCache::new(r.pool_bytes(budget))),
         }
     }
 
@@ -435,6 +457,8 @@ impl Router {
             .collect();
 
         // Per-request side state the router owns.
+        let prefix_lens = trace.prefix_lens();
+        let next_turn = trace.next_turn_exists();
         let mut owner: Vec<Option<usize>> = vec![None; n]; // terminal home
         let mut res_bytes: Vec<u64> = vec![0; n]; // reservation on current replica
         let mut queued_since: Vec<f64> = vec![0.0; n]; // timeout epoch
@@ -523,7 +547,8 @@ impl Router {
                                         <= states[i].budget
                                 })
                                 .collect();
-                            let target = self.pick(&feasible, &states, id, &mut rr_handoff);
+                            let key = req.session.map_or(id, |s| s.session_id);
+                            let target = self.pick(&feasible, &states, key, &mut rr_handoff);
                             res_bytes[id] = self.engines[target]
                                 .decode_reservation_bytes(req.prompt_len, req.output_len);
                             owner[id] = Some(target);
@@ -547,7 +572,9 @@ impl Router {
                         i,
                         &mut states,
                         &mut requests,
-                        &res_bytes,
+                        &mut res_bytes,
+                        &prefix_lens,
+                        &next_turn,
                         &mut queued_since,
                         &mut was_requeued,
                         &mut requeued_total,
@@ -577,7 +604,10 @@ impl Router {
     }
 
     /// Picks a replica from `tier` per the load-balancing policy.
-    fn pick(&self, tier: &[usize], states: &[ReplicaState], id: usize, rr: &mut usize) -> usize {
+    /// `key` is the affinity key sticky policies hash: the request's
+    /// real session id, or its trace index for legacy single-shot
+    /// entries (reproducing the pre-session `i % sessions` fold).
+    fn pick(&self, tier: &[usize], states: &[ReplicaState], key: usize, rr: &mut usize) -> usize {
         debug_assert!(!tier.is_empty());
         match self.cfg.lb {
             LoadBalancePolicy::RoundRobin => {
@@ -601,7 +631,7 @@ impl Router {
                 })
                 .expect("tier is non-empty"),
             LoadBalancePolicy::Sticky { sessions } => {
-                let session = (id % sessions) as u64;
+                let session = (key % sessions) as u64;
                 tier[(mix64(session) % tier.len() as u64) as usize]
             }
         }
@@ -656,7 +686,8 @@ impl Router {
             reject(requests);
             return false;
         }
-        let first = self.pick(&eligible, states, id, rr);
+        let key = requests[id].session.map_or(id, |s| s.session_id);
+        let first = self.pick(&eligible, states, key, rr);
         let fits = |i: usize| {
             self.engines[i].reservation_bytes(req_prompt, req_output) <= states[i].budget
         };
@@ -694,7 +725,9 @@ impl Router {
         i: usize,
         states: &mut [ReplicaState],
         requests: &mut [Request],
-        res_bytes: &[u64],
+        res_bytes: &mut [u64],
+        prefix_lens: &[usize],
+        next_turn: &[bool],
         queued_since: &mut [f64],
         was_requeued: &mut [bool],
         requeued_total: &mut usize,
@@ -744,24 +777,43 @@ impl Router {
         // ---- 2. Admit FCFS under the KV budget and batch cap. A
         // request with its first token already minted is a handed-off
         // decode ingest; it joins the running batch without a prefill.
+        // A fresh prefill whose session prefix KV is retained here is
+        // admitted with only its suffix needing prefill (same reuse
+        // rule as [`ServeEngine::run`]); retained caches LRU-yield to
+        // admission.
         let mut newly: Vec<usize> = Vec::new();
+        let mut new_jobs: Vec<PrefillJob> = Vec::new();
         let mut ingests: Vec<usize> = Vec::new();
         while let Some(&id) = state.queue.front() {
             if state.running.len() + newly.len() + ingests.len() >= cfg.max_batch {
                 break;
             }
-            if state.reserved + res_bytes[id] > state.budget {
+            // A handed-off ingest's KV arrived whole — nothing to
+            // prefill, so nothing to reuse (prefix 0 makes the shared
+            // helper's probe inert while retained caches still yield).
+            let is_ingest = requests[id].first_token_at.is_some();
+            let prefix = if is_ingest { 0 } else { prefix_lens[id] };
+            let Some((res, job)) = engine.admit_with_reuse(
+                &mut requests[id],
+                prefix,
+                res_bytes[id],
+                state.reserved,
+                state.budget,
+                &mut state.session_kv,
+            ) else {
                 break;
-            }
+            };
             state.queue.pop_front();
-            state.reserved += res_bytes[id];
+            res_bytes[id] = res;
+            state.reserved += res;
             let req = &mut requests[id];
-            if req.first_token_at.is_some() {
+            if is_ingest {
                 req.state = RequestState::Decoding;
                 ingests.push(id);
             } else {
                 req.admitted_at = Some(t);
                 req.state = RequestState::Prefilling;
+                new_jobs.push(job);
                 newly.push(id);
             }
         }
@@ -771,15 +823,14 @@ impl Router {
         }
 
         // ---- 3. Price the step through the shared cost path.
-        let prefill_lens: Vec<usize> = newly.iter().map(|&id| requests[id].prompt_len).collect();
         let running_lens: Vec<usize> = state
             .running
             .iter()
             .chain(ingests.iter())
             .map(|&id| requests[id].seq_len())
             .collect();
-        let step_time = engine.step_time(&prefill_lens, &running_lens);
-        let batch = running_lens.len() + prefill_lens.len();
+        let step_time = engine.step_time_sessions(&new_jobs, &running_lens);
+        let batch = running_lens.len() + new_jobs.len();
         state.t += step_time;
         state.step_count += 1;
         state.batch_sum += batch as u64;
@@ -803,6 +854,12 @@ impl Router {
                 if req.generated >= req.output_len {
                     req.finished_at = Some(t_end);
                     req.state = RequestState::Finished;
+                    engine.retain_finished(
+                        &requests[id],
+                        next_turn[id],
+                        state.budget - state.reserved,
+                        &mut state.session_kv,
+                    );
                 } else {
                     *handoffs_total += 1;
                     let transfer = engine.kv_handoff_time(req.seq_len());
@@ -825,6 +882,17 @@ impl Router {
                 let req = &mut requests[id];
                 req.finished_at = Some(t_end);
                 req.state = RequestState::Finished;
+                // Retain the finished turn's KV for the session's next
+                // turn, exactly like the single engine. (Under
+                // disaggregation the next turn enters at the prefill
+                // tier, so decode-side retention stays inert — sticky
+                // unified fleets are where reuse pays.)
+                engine.retain_finished(
+                    &requests[id],
+                    next_turn[id],
+                    state.budget - state.reserved,
+                    &mut state.session_kv,
+                );
             } else {
                 still_running.push(id);
             }
@@ -883,6 +951,7 @@ impl Router {
                     s.timeline.clone(),
                     s.peak_queue_depth,
                     s.peak_kv_bytes,
+                    s.session_kv.as_ref().map(|kv| kv.stats()),
                 )
             })
             .collect();
@@ -915,6 +984,12 @@ impl Router {
             v.dedup();
             v
         };
+        // Fleet reuse stats: the merged per-replica counters, present
+        // iff any replica ran with retention.
+        let fleet_reuse: Option<ReuseStats> = states
+            .iter()
+            .filter_map(|s| s.session_kv.as_ref().map(|kv| kv.stats()))
+            .reduce(|a, b| a.merged(b));
         let fleet = ServeReport::from_requests(
             format!("{}x{}", self.engines.len(), names.join("+")),
             cfg0.model.name.clone(),
@@ -926,6 +1001,7 @@ impl Router {
             merged.into_iter().map(|(_, p)| p).collect(),
             states.iter().map(|s| s.peak_queue_depth).max().unwrap_or(0),
             states.iter().map(|s| s.peak_kv_bytes).max().unwrap_or(0),
+            fleet_reuse,
         );
 
         RouterReport {
@@ -1113,11 +1189,7 @@ mod tests {
         // disaggregation may legitimately *win*, by keeping prefill
         // stalls out of the decode batch.)
         let entries: Vec<crate::trace::TraceEntry> = (0..3)
-            .map(|i| crate::trace::TraceEntry {
-                arrival_s: 60.0 * i as f64,
-                prompt_len: 256,
-                output_len: 16,
-            })
+            .map(|i| crate::trace::TraceEntry::single_shot(60.0 * i as f64, 256, 16))
             .collect();
         let trace = Trace::new(entries).unwrap();
         let unified = Router::new(RouterConfig::homogeneous(
@@ -1162,11 +1234,7 @@ mod tests {
         };
         let router = Router::new(cfg);
         let entries: Vec<crate::trace::TraceEntry> = (0..4)
-            .map(|i| crate::trace::TraceEntry {
-                arrival_s: i as f64,
-                prompt_len: 6000,
-                output_len: 2200,
-            })
+            .map(|i| crate::trace::TraceEntry::single_shot(i as f64, 6000, 2200))
             .collect();
         let trace = Trace::new(entries).unwrap();
         // Sanity: the request really is infeasible on the vLLM decode

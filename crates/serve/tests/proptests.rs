@@ -60,6 +60,64 @@ proptest! {
         prop_assert_eq!(&trace, &back);
         prop_assert_eq!(trace.to_text(), back.to_text());
     }
+
+    /// Any legacy single-shot trace round-trips *unchanged* through the
+    /// session-aware parser: the emitted text keeps the v1 3-column
+    /// shape byte-for-byte, no entry acquires a session id, and the
+    /// session accessors report the inert values the engine's reuse
+    /// path treats as "nothing to do".
+    #[test]
+    fn legacy_traces_parse_as_one_turn_sessions(
+        rate in 0.2f64..20.0,
+        n in 1usize..120,
+        seed in 0u64..1_000_000,
+    ) {
+        let lengths = LengthModel::alpaca();
+        let trace = Trace::generate(&ArrivalProcess::Poisson { rate }, &lengths, n, seed);
+        let text = trace.to_text();
+        prop_assert!(text.lines().next().expect("header").contains("v1"));
+        for line in text.lines().skip(1) {
+            prop_assert_eq!(line.split_whitespace().count(), 3, "v1 lines have 3 columns");
+        }
+        let back = Trace::from_text(&text).expect("round trip");
+        prop_assert_eq!(text, back.to_text(), "byte-identical re-emission");
+        prop_assert!(!back.has_sessions());
+        prop_assert_eq!(back.session_count(), 0);
+        prop_assert!(back.prefix_lens().iter().all(|&p| p == 0));
+        prop_assert!(back.next_turn_exists().iter().all(|&b| !b));
+    }
+
+    /// Session traces validate by construction for any model shape and
+    /// survive the v2 codec exactly; prefix lengths always equal the
+    /// previous turn's final context.
+    #[test]
+    fn session_traces_round_trip_and_contain_prefixes(
+        rate in 0.2f64..5.0,
+        sessions in 1usize..24,
+        max_turns in 1usize..6,
+        seed in 0u64..1_000_000,
+    ) {
+        let model = alisa_workloads::SessionModel::chat().with_max_turns(max_turns);
+        let trace = Trace::generate_sessions(
+            &ArrivalProcess::Poisson { rate },
+            &model,
+            sessions,
+            seed,
+        );
+        let back = Trace::from_text(&trace.to_text()).expect("round trip");
+        prop_assert_eq!(&trace, &back);
+        prop_assert_eq!(trace.to_text(), back.to_text());
+        // Every turn's prompt contains the session's prior context.
+        let prefixes = trace.prefix_lens();
+        for (e, &p) in trace.entries().iter().zip(prefixes.iter()) {
+            prop_assert!(e.prompt_len >= p);
+            if let Some(sref) = e.session {
+                if sref.turn > 0 {
+                    prop_assert!(p > 0, "later turns must have a reusable prefix");
+                }
+            }
+        }
+    }
 }
 
 mod precision_pricing {

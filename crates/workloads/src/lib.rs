@@ -13,14 +13,20 @@
 //! * [`qa`] — few-shot retrieval episodes over the hand-constructed
 //!   associative model (fact → query → value),
 //! * [`eval`] — perplexity and multiple-choice accuracy sweeps across
-//!   policies and KV-sparsity levels: the Figure 8 harness.
+//!   policies and KV-sparsity levels: the Figure 8 harness,
+//! * [`sessions`] — multi-turn conversation models ([`SessionModel`]):
+//!   heavy-tailed turn counts and per-turn lengths with think-time
+//!   gaps, the workload shape that stresses cross-request prefix KV
+//!   reuse.
 
 pub mod corpus;
 pub mod eval;
 pub mod qa;
 pub mod serving;
+pub mod sessions;
 
 pub use corpus::{CorpusSpec, Dataset};
 pub use eval::{evaluate_lm, evaluate_qa, LmResult, QaResult};
 pub use qa::{QaEpisode, QaSpec, QaTask};
 pub use serving::LengthModel;
+pub use sessions::SessionModel;

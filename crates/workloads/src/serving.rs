@@ -93,7 +93,7 @@ impl LengthModel {
         let mut rng = StdRng::seed_from_u64(
             seed ^ (idx as u64).wrapping_mul(0x9E3779B97F4A7C15) ^ self.corpus.seed,
         );
-        let prompt = self.lognormal(&mut rng, self.prompt_median, self.prompt_sigma);
+        let prompt = lognormal(&mut rng, self.prompt_median, self.prompt_sigma);
         // Topic complexity of this request's document: anchor-dense
         // documents (lots of entity recurrence) ask for longer answers.
         let probe = self.corpus.sequence(idx, 48);
@@ -102,20 +102,22 @@ impl LengthModel {
             .filter(|&&t| t < self.corpus.anchor_count)
             .count();
         let complexity = 0.75 + 1.0 * anchor_hits as f64 / probe.len() as f64;
-        let output = self.lognormal(&mut rng, self.output_median * complexity, self.output_sigma);
+        let output = lognormal(&mut rng, self.output_median * complexity, self.output_sigma);
         (
             (prompt.round() as usize).clamp(self.min_prompt, self.max_prompt),
             (output.round() as usize).clamp(self.min_output, self.max_output),
         )
     }
+}
 
-    /// Log-normal draw by Box–Muller over the stub RNG's uniform bits.
-    fn lognormal(&self, rng: &mut StdRng, median: f64, sigma: f64) -> f64 {
-        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
-        let u2: f64 = rng.gen();
-        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
-        median * (sigma * z).exp()
-    }
+/// Log-normal draw by Box–Muller over the stub RNG's uniform bits —
+/// the one sampling routine shared by [`LengthModel`] and
+/// [`crate::SessionModel`], so their distributions cannot drift apart.
+pub(crate) fn lognormal(rng: &mut StdRng, median: f64, sigma: f64) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen();
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    median * (sigma * z).exp()
 }
 
 #[cfg(test)]

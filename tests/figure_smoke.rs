@@ -91,3 +91,8 @@ fn fig14_multi_replica_runs() {
 fn fig15_mixed_precision_runs() {
     run_quick("fig15_mixed_precision");
 }
+
+#[test]
+fn fig16_multi_turn_runs() {
+    run_quick("fig16_multi_turn");
+}
