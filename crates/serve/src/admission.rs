@@ -1,8 +1,12 @@
-//! KV-memory admission policies.
+//! KV-memory admission policies — the *pricing* half of admission.
 //!
 //! Continuous batching admits a request only if its KV footprint fits
 //! the device budget. *How big that footprint is* is exactly where the
-//! systems differ, and it is the lever ALISA's sparsity pulls:
+//! systems differ, and it is the lever ALISA's sparsity pulls. In what
+//! *order* the priced budget is spent (and whether blocked candidates
+//! may preempt) is deliberately not this module's concern — that is
+//! the orthogonal [`crate::QueueDiscipline`], so every discipline is
+//! comparable under every pricing rule here:
 //!
 //! * [`AdmissionPolicy::VllmPaged`] reserves dense KV for the request's
 //!   final length, rounded up to paged-block granularity.

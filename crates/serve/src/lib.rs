@@ -17,12 +17,16 @@
 //!   with lengths drawn from `alisa_workloads::LengthModel`, carrying
 //!   real session ids for multi-turn conversations
 //!   (`alisa_workloads::SessionModel` + [`Trace::generate_sessions`]),
-//! * [`admission`] — the KV-budget reservation rules: dense paged
+//! * [`admission`] — the KV-budget *pricing* rules: dense paged
 //!   (vLLM), static split (FlexGen), and ALISA's sparsity-aware
 //!   `(1 − sparsity) ×` reservation that admits a several-fold larger
 //!   concurrent batch from the same HBM,
-//! * [`engine`] — the continuous-batching loop with FCFS admission,
-//!   queue timeouts, closed-loop gating, and session-KV retention: a
+//! * [`discipline`] — the queue *ordering* rules the priced budget is
+//!   spent under: FCFS (default), shortest-job-first with aging,
+//!   best-fit packing, and preemptive SJF with victim re-queue,
+//! * [`engine`] — the continuous-batching loop with discipline-ordered
+//!   admission, queue timeouts, closed-loop gating, and session-KV
+//!   retention: a
 //!   turn whose session prefix KV is still resident skips prefilling
 //!   the shared prefix and only pays attention over the retained
 //!   sparse KV ([`RetentionCfg`]),
@@ -62,6 +66,7 @@
 
 pub mod admission;
 pub mod arrivals;
+pub mod discipline;
 pub mod engine;
 pub mod metrics;
 pub mod request;
@@ -71,6 +76,7 @@ pub mod trace;
 pub use admission::AdmissionPolicy;
 pub use alisa_kvcache::{ReuseStats, SessionKvCache};
 pub use arrivals::ArrivalProcess;
+pub use discipline::{DisciplineStats, QueueDiscipline};
 pub use engine::{derived_slo, ClosedLoopCfg, PrefillJob, RetentionCfg, ServeConfig, ServeEngine};
 pub use metrics::{LatencyStats, ServeReport, ServeSample, SloSpec};
 pub use request::{RejectReason, Request, RequestState};

@@ -9,6 +9,7 @@
 use alisa_kvcache::ReuseStats;
 use serde::{Deserialize, Serialize};
 
+use crate::discipline::DisciplineStats;
 use crate::request::{Request, RequestState};
 
 /// Latency service-level objective a request must meet to count toward
@@ -148,6 +149,10 @@ pub struct ServeReport {
     /// with a retention budget, so legacy (no-retention) reports stay
     /// byte-identical to pre-session ones.
     pub reuse: Option<ReuseStats>,
+    /// Queue-discipline counters (preemptions / preempted requests) —
+    /// `Some` only when a non-FCFS [`crate::QueueDiscipline`] ran, so
+    /// pre-discipline canonical reports stay byte-identical.
+    pub discipline: Option<DisciplineStats>,
 }
 
 impl ServeReport {
@@ -165,6 +170,7 @@ impl ServeReport {
         peak_queue_depth: usize,
         peak_kv_bytes: u64,
         reuse: Option<ReuseStats>,
+        discipline: Option<String>,
     ) -> Self {
         let arrived = requests.len();
         let admitted = requests.iter().filter(|r| r.admitted_at.is_some()).count();
@@ -195,6 +201,13 @@ impl ServeReport {
         } else {
             span
         };
+        // Preemption counters fall straight out of the terminal request
+        // states, so engine and router cannot disagree with them.
+        let discipline = discipline.map(|name| DisciplineStats {
+            discipline: name,
+            preemptions: requests.iter().map(|r| r.preemptions as u64).sum(),
+            preempted_requests: requests.iter().filter(|r| r.preemptions > 0).count() as u64,
+        });
         ServeReport {
             policy,
             model,
@@ -222,6 +235,7 @@ impl ServeReport {
             peak_kv_bytes,
             timeline,
             reuse,
+            discipline,
         }
     }
 
@@ -286,6 +300,14 @@ impl ServeReport {
                 r.hits, r.misses, r.reused_tokens, r.evictions, r.retained, r.peak_retained_bytes
             ));
         }
+        // Likewise emitted only for non-FCFS disciplines: pre-split
+        // golden fixtures never see this line.
+        if let Some(d) = &self.discipline {
+            s.push_str(&format!(
+                "discipline {} preemptions={} preempted={}\n",
+                d.discipline, d.preemptions, d.preempted_requests
+            ));
+        }
         s.push_str(&format!("timeline {}\n", self.timeline.len()));
         for p in &self.timeline {
             s.push_str(&format!(
@@ -345,6 +367,7 @@ mod tests {
             generated: 11,
             session: None,
             reused_prefix: 0,
+            preemptions: 0,
         };
         assert!(slo.met_by(&r)); // ttft 0.5, tbt 0.1
         r.first_token_at = Some(1.2);

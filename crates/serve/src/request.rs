@@ -5,7 +5,12 @@
 //! (`Prefilling`, for the step that builds its prompt KV and emits the
 //! first token), decodes one token per engine step (`Decoding`), and
 //! leaves as `Finished` — or `Rejected` if admission control bounced it
-//! (infeasible footprint or queue-timeout).
+//! (infeasible footprint or queue-timeout). Under a preemptive
+//! [`crate::QueueDiscipline`] a decoding request may additionally be
+//! evicted back to the queue (`Preempted`): its KV is released, its
+//! generated tokens are kept as progress, and re-admission re-prefills
+//! the whole context built so far (prompt + generated) before decoding
+//! resumes — preempted requests are re-queued, never dropped.
 
 use alisa_sched::{InvalidWorkload, Workload};
 use serde::{Deserialize, Serialize};
@@ -21,6 +26,10 @@ pub enum RequestState {
     Prefilling,
     /// Generating one token per engine step.
     Decoding,
+    /// Evicted mid-decode by a preemptive queue discipline; back in the
+    /// admission queue with its progress kept, awaiting re-admission
+    /// (which re-prefills the context built so far).
+    Preempted,
     /// All output tokens generated.
     Finished,
     /// Bounced by admission control.
@@ -67,6 +76,9 @@ pub struct Request {
     /// prefix KV was still resident at admission (0 when admission
     /// found nothing to reuse).
     pub reused_prefix: usize,
+    /// Times this request was preempted (evicted mid-decode and
+    /// re-queued by a preemptive [`crate::QueueDiscipline`]).
+    pub preemptions: usize,
 }
 
 impl Request {
@@ -92,12 +104,28 @@ impl Request {
             generated: 0,
             session: entry.session,
             reused_prefix: 0,
+            preemptions: 0,
         })
     }
 
     /// Current sequence length: prompt plus generated tokens.
     pub fn seq_len(&self) -> usize {
         self.prompt_len + self.generated
+    }
+
+    /// The context a *preempted* request must rebuild on re-admission:
+    /// its original prompt plus every token it had generated before
+    /// eviction. Equals the plain prompt length for a request that was
+    /// never admitted.
+    pub fn restart_prompt_len(&self) -> usize {
+        self.prompt_len + self.generated
+    }
+
+    /// Output tokens a preempted request still owes after its kept
+    /// progress (at least 1 — a request one token short of done would
+    /// have finished, not been preempted).
+    pub fn remaining_output_len(&self) -> usize {
+        self.output_len.saturating_sub(self.generated).max(1)
     }
 
     /// Final sequence length once fully decoded.
@@ -172,6 +200,18 @@ mod tests {
         let err = Request::from_entry(3, &entry(0.0, 0, 8)).unwrap_err();
         assert_eq!(err.input_len, 0);
         assert!(Request::from_entry(3, &entry(0.0, 8, 0)).is_err());
+    }
+
+    #[test]
+    fn restart_lengths_track_progress() {
+        let mut r = Request::from_entry(0, &entry(0.0, 100, 40)).unwrap();
+        assert_eq!(r.restart_prompt_len(), 100);
+        assert_eq!(r.remaining_output_len(), 40);
+        r.generated = 25;
+        r.state = RequestState::Preempted;
+        assert_eq!(r.restart_prompt_len(), 125);
+        assert_eq!(r.remaining_output_len(), 15);
+        assert_eq!(r.seq_len(), 125);
     }
 
     #[test]

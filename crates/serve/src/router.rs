@@ -9,8 +9,9 @@
 //! * [`LoadBalancePolicy`] — how the router picks a replica per
 //!   request: round-robin, least-outstanding-requests,
 //!   least-KV-pressure, or sticky session affinity,
-//! * replica-local admission — each replica runs the same FCFS
-//!   KV-budget admission loop as the single-replica engine, priced
+//! * replica-local admission — each replica runs the same
+//!   discipline-ordered KV-budget admission loop as the single-replica
+//!   engine (FCFS by default; see [`crate::QueueDiscipline`]), priced
 //!   through the same [`ServeEngine::step_time`] cost path,
 //! * cross-replica re-queue — optionally, a request that a replica
 //!   bounces (queue timeout) or cannot ever fit gets one more chance on
@@ -774,48 +775,112 @@ impl Router {
         }
         state.peak_queue_depth = state.peak_queue_depth.max(state.queue.len());
 
-        // ---- 2. Admit FCFS under the KV budget and batch cap. A
-        // request with its first token already minted is a handed-off
-        // decode ingest; it joins the running batch without a prefill.
-        // A fresh prefill whose session prefix KV is retained here is
-        // admitted with only its suffix needing prefill (same reuse
-        // rule as [`ServeEngine::run`]); retained caches LRU-yield to
-        // admission.
+        // ---- 2. Admit per the replica's queue discipline under the KV
+        // budget and batch cap (FCFS reproduces the legacy loop
+        // byte-for-byte). A request with its first token already minted
+        // and not preempted is a handed-off decode ingest; it joins the
+        // running batch without a prefill. A fresh prefill whose
+        // session prefix KV is retained here is admitted with only its
+        // suffix needing prefill (same reuse rule as
+        // [`ServeEngine::run`]); retained caches LRU-yield to
+        // admission. Preemption is unified-replica only: a handed-off
+        // decode request cannot re-prefill on a decode-only replica, so
+        // disaggregated tiers never evict.
+        let discipline = cfg.discipline;
+        let can_preempt = state.role == Role::Unified;
         let mut newly: Vec<usize> = Vec::new();
         let mut new_jobs: Vec<PrefillJob> = Vec::new();
         let mut ingests: Vec<usize> = Vec::new();
-        while let Some(&id) = state.queue.front() {
+        loop {
             if state.running.len() + newly.len() + ingests.len() >= cfg.max_batch {
                 break;
             }
-            // A handed-off ingest's KV arrived whole — nothing to
-            // prefill, so nothing to reuse (prefix 0 makes the shared
-            // helper's probe inert while retained caches still yield).
-            let is_ingest = requests[id].first_token_at.is_some();
-            let prefix = if is_ingest { 0 } else { prefix_lens[id] };
-            let Some((res, job)) = engine.admit_with_reuse(
-                &mut requests[id],
-                prefix,
-                res_bytes[id],
-                state.reserved,
-                state.budget,
-                &mut state.session_kv,
+            let default_res = |id: usize| -> u64 {
+                if requests[id].state == RequestState::Preempted {
+                    engine.requeue_reservation_bytes(&requests[id])
+                } else {
+                    res_bytes[id]
+                }
+            };
+            let Some(pos) = discipline.select(
+                &state.queue,
+                state.budget - state.reserved,
+                default_res,
+                |id| t - queued_since[id],
             ) else {
                 break;
             };
-            state.queue.pop_front();
-            res_bytes[id] = res;
-            state.reserved += res;
-            let req = &mut requests[id];
-            if is_ingest {
-                req.state = RequestState::Decoding;
-                ingests.push(id);
+            let id = state.queue[pos];
+            // A handed-off ingest's KV arrived whole — nothing to
+            // prefill, so nothing to reuse (prefix 0 makes the shared
+            // helper's probe inert while retained caches still yield).
+            let is_preempted = requests[id].state == RequestState::Preempted;
+            let is_ingest = requests[id].first_token_at.is_some() && !is_preempted;
+            let prefix = if is_preempted {
+                requests[id].seq_len()
+            } else if is_ingest {
+                0
             } else {
-                req.admitted_at = Some(t);
-                req.state = RequestState::Prefilling;
-                new_jobs.push(job);
-                newly.push(id);
+                prefix_lens[id]
+            };
+            let dres = default_res(id);
+            if let Some((res, job)) = engine.admit_with_reuse(
+                &mut requests[id],
+                prefix,
+                dres,
+                state.reserved,
+                state.budget,
+                &mut state.session_kv,
+            ) {
+                state.queue.remove(pos);
+                res_bytes[id] = res;
+                state.reserved += res;
+                let req = &mut requests[id];
+                if is_ingest {
+                    req.state = RequestState::Decoding;
+                    ingests.push(id);
+                } else {
+                    if req.admitted_at.is_none() {
+                        req.admitted_at = Some(t);
+                    }
+                    req.state = RequestState::Prefilling;
+                    new_jobs.push(job);
+                    newly.push(id);
+                }
+                continue;
             }
+            // Blocked candidate: preempt the cheapest-to-restart
+            // running victim once the candidate has out-waited the
+            // discipline's patience, exactly like the single engine.
+            let patient = can_preempt
+                && discipline
+                    .preemption_patience()
+                    .is_some_and(|p| t - queued_since[id] > p);
+            if patient {
+                if let Some(vpos) = engine.pick_victim(
+                    &state.running,
+                    requests,
+                    res_bytes,
+                    dres,
+                    state.reserved,
+                    state.budget,
+                ) {
+                    let vid = state.running.remove(vpos);
+                    engine.preempt_victim(
+                        vid,
+                        res_bytes[vid],
+                        requests,
+                        &mut state.reserved,
+                        state.budget,
+                        t,
+                        queued_since,
+                        &mut state.queue,
+                        &mut state.session_kv,
+                    );
+                    continue;
+                }
+            }
+            break;
         }
 
         if newly.is_empty() && ingests.is_empty() && state.running.is_empty() {
@@ -844,8 +909,12 @@ impl Router {
         let mut to_run: Vec<usize> = Vec::new();
         for &id in &newly {
             let req = &mut requests[id];
-            req.first_token_at = Some(t_end);
-            req.generated = 1;
+            // Re-admitted preempted requests keep their original TTFT
+            // and advance their kept progress by one, like the engine.
+            if req.first_token_at.is_none() {
+                req.first_token_at = Some(t_end);
+            }
+            req.generated += 1;
             req.state = RequestState::Decoding;
             if state.role == Role::Prefill {
                 // Hand the prefilled KV to the decode tier (unless the
@@ -952,6 +1021,7 @@ impl Router {
                     s.peak_queue_depth,
                     s.peak_kv_bytes,
                     s.session_kv.as_ref().map(|kv| kv.stats()),
+                    (!cfg.discipline.is_fcfs()).then(|| cfg.discipline.name().to_string()),
                 )
             })
             .collect();
@@ -990,6 +1060,21 @@ impl Router {
             .iter()
             .filter_map(|s| s.session_kv.as_ref().map(|kv| kv.stats()))
             .reduce(|a, b| a.merged(b));
+        // Fleet discipline tag: the distinct per-replica names in
+        // first-appearance order (a seen-set, not `Vec::dedup` —
+        // adjacent dedup would mislabel an [sjf, fcfs, sjf] fleet),
+        // present iff any replica ran a non-FCFS discipline (matching
+        // the per-replica emission rule).
+        let fleet_discipline = {
+            let mut d: Vec<&str> = Vec::new();
+            for e in &self.engines {
+                let name = e.config().discipline.name();
+                if !d.contains(&name) {
+                    d.push(name);
+                }
+            }
+            (!self.engines.iter().all(|e| e.config().discipline.is_fcfs())).then(|| d.join("+"))
+        };
         let fleet = ServeReport::from_requests(
             format!("{}x{}", self.engines.len(), names.join("+")),
             cfg0.model.name.clone(),
@@ -1002,6 +1087,7 @@ impl Router {
             states.iter().map(|s| s.peak_queue_depth).max().unwrap_or(0),
             states.iter().map(|s| s.peak_kv_bytes).max().unwrap_or(0),
             fleet_reuse,
+            fleet_discipline,
         );
 
         RouterReport {

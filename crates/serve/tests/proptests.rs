@@ -244,3 +244,138 @@ mod precision_pricing {
         }
     }
 }
+
+mod queue_disciplines {
+    use super::*;
+    use alisa_memsim::HardwareSpec;
+    use alisa_model::ModelConfig;
+    use alisa_serve::{AdmissionPolicy, QueueDiscipline, ServeConfig, ServeEngine};
+
+    /// The discipline under test, indexed by a proptest-drawn selector
+    /// (covers every variant, with drawn aging/patience knobs).
+    fn discipline(sel: u8, aging: f64, patience: f64) -> QueueDiscipline {
+        match sel % 4 {
+            0 => QueueDiscipline::fcfs(),
+            1 => QueueDiscipline::sjf().with_aging(aging),
+            2 => QueueDiscipline::best_fit(),
+            _ => QueueDiscipline::preemptive_sjf()
+                .with_aging(aging)
+                .with_patience(patience),
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// `admitted + rejected == offered` holds under every
+        /// discipline, load level, and timeout — and with no timeout
+        /// every admitted request finishes: preempted requests are
+        /// re-queued and complete, never lost.
+        #[test]
+        fn conservation_holds_under_every_discipline(
+            sel in 0u8..4,
+            aging in 0.5f64..20.0,
+            patience in 0.05f64..3.0,
+            rate in 0.5f64..24.0,
+            n in 4usize..64,
+            seed in 0u64..1_000_000,
+            timed_out in 0u8..2,
+        ) {
+            let d = discipline(sel, aging, patience);
+            let trace = Trace::generate(
+                &ArrivalProcess::Poisson { rate },
+                &LengthModel::heavy_tailed(),
+                n,
+                seed,
+            );
+            let mut cfg = ServeConfig::new(
+                ModelConfig::opt_6_7b(),
+                HardwareSpec::v100_16gb(),
+                AdmissionPolicy::alisa(),
+            )
+            .with_discipline(d);
+            if timed_out == 1 {
+                cfg = cfg.with_queue_timeout(2.0);
+            }
+            let r = ServeEngine::new(cfg).run(&trace);
+            prop_assert_eq!(r.arrived, n, "{}", d.name());
+            prop_assert_eq!(
+                r.admitted + r.rejected, r.arrived,
+                "{}: admitted + rejected != offered", d.name()
+            );
+            prop_assert_eq!(
+                r.completed, r.admitted,
+                "{}: an admitted (possibly preempted) request vanished", d.name()
+            );
+        }
+
+        /// FCFS is the default: an explicit `with_discipline(fcfs)`
+        /// run is byte-identical to the default-constructed config on
+        /// any trace — the pre-split behaviour is pinned everywhere,
+        /// not just on the golden fixtures.
+        #[test]
+        fn explicit_fcfs_is_byte_identical_to_default(
+            rate in 0.5f64..16.0,
+            n in 4usize..48,
+            seed in 0u64..1_000_000,
+        ) {
+            let trace = Trace::generate(
+                &ArrivalProcess::Poisson { rate },
+                &LengthModel::heavy_tailed(),
+                n,
+                seed,
+            );
+            let base = ServeConfig::new(
+                ModelConfig::opt_6_7b(),
+                HardwareSpec::v100_16gb(),
+                AdmissionPolicy::alisa(),
+            );
+            let default = ServeEngine::new(base.clone()).run(&trace);
+            let explicit = ServeEngine::new(base.with_discipline(QueueDiscipline::fcfs()))
+                .run(&trace);
+            prop_assert_eq!(
+                default.canonical_text().into_bytes(),
+                explicit.canonical_text().into_bytes()
+            );
+        }
+
+        /// SJF with a finite aging horizon admits every request
+        /// eventually: no starvation, for any horizon and any
+        /// heavy-tailed trace (no timeout, so a starved request would
+        /// show up as `completed < admitted`-or-hang, and the aged run
+        /// must never serve its worst-case request later than pure
+        /// SJF).
+        #[test]
+        fn sjf_aging_starves_nobody(
+            aging in 0.5f64..30.0,
+            rate in 1.0f64..16.0,
+            n in 8usize..48,
+            seed in 0u64..1_000_000,
+        ) {
+            let trace = Trace::generate(
+                &ArrivalProcess::Poisson { rate },
+                &LengthModel::heavy_tailed(),
+                n,
+                seed,
+            );
+            let run = |d: QueueDiscipline| {
+                let cfg = ServeConfig::new(
+                    ModelConfig::opt_6_7b(),
+                    HardwareSpec::v100_16gb(),
+                    AdmissionPolicy::alisa(),
+                )
+                .with_discipline(d);
+                ServeEngine::new(cfg).run(&trace)
+            };
+            let aged = run(QueueDiscipline::sjf().with_aging(aging));
+            prop_assert_eq!(aged.completed, aged.arrived, "every request is admitted");
+            let pure = run(QueueDiscipline::sjf().with_aging(f64::INFINITY));
+            prop_assert!(
+                aged.e2e.max <= pure.e2e.max + 1e-9,
+                "aging delayed the most-starved request: {} vs {}",
+                aged.e2e.max,
+                pure.e2e.max
+            );
+        }
+    }
+}

@@ -36,6 +36,14 @@ pub struct LengthModel {
     pub max_prompt: usize,
     /// Hard cap on output length.
     pub max_output: usize,
+    /// Probability a request is a heavy-tail "giant" whose prompt and
+    /// output draws are both scaled by `heavy_mult` — the log-normal
+    /// mixture machinery of [`crate::SessionModel`]'s `long_frac`,
+    /// applied to single-shot requests. Zero (the preset default)
+    /// reproduces the plain log-normal byte-for-byte.
+    pub heavy_frac: f64,
+    /// Length multiplier of a giant request (clamped to the caps).
+    pub heavy_mult: f64,
 }
 
 impl LengthModel {
@@ -55,6 +63,8 @@ impl LengthModel {
                 min_output: 16,
                 max_prompt: 512,
                 max_output: 512,
+                heavy_frac: 0.0,
+                heavy_mult: 1.0,
             },
             Dataset::WikiText2 | Dataset::PennTreebank => LengthModel {
                 corpus,
@@ -66,6 +76,8 @@ impl LengthModel {
                 min_output: 16,
                 max_prompt: 768,
                 max_output: 384,
+                heavy_frac: 0.0,
+                heavy_mult: 1.0,
             },
         }
     }
@@ -73,6 +85,38 @@ impl LengthModel {
     /// The paper's serving workload shape (Alpaca-style).
     pub fn alpaca() -> Self {
         Self::for_dataset(Dataset::Alpaca)
+    }
+
+    /// A heavy-tailed single-shot mixture: Alpaca-shaped bodies with a
+    /// ~10% tail of giant requests whose prompt and output scale 6×
+    /// (caps widened so the giants are really giant). On a V100-class
+    /// KV budget one giant's dense reservation is a large fraction of
+    /// the HBM, so under FCFS a queued giant head-of-line blocks a
+    /// stream of cheap requests — the workload shape that separates
+    /// size-aware queue disciplines from FCFS.
+    pub fn heavy_tailed() -> Self {
+        let mut m = Self::alpaca();
+        m.max_prompt = 2048;
+        m.max_output = 1024;
+        m.heavy_frac = 0.1;
+        m.heavy_mult = 6.0;
+        m
+    }
+
+    /// Overrides the heavy-tail mixture parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `heavy_frac` is in `[0, 1]` and `heavy_mult >= 1`.
+    pub fn with_heavy_tail(mut self, heavy_frac: f64, heavy_mult: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&heavy_frac),
+            "heavy_frac must be in [0, 1]"
+        );
+        assert!(heavy_mult >= 1.0, "heavy_mult must be >= 1");
+        self.heavy_frac = heavy_frac;
+        self.heavy_mult = heavy_mult;
+        self
     }
 
     /// Scales the output-length cap (e.g. to keep smoke tests fast).
@@ -103,9 +147,23 @@ impl LengthModel {
             .count();
         let complexity = 0.75 + 1.0 * anchor_hits as f64 / probe.len() as f64;
         let output = lognormal(&mut rng, self.output_median * complexity, self.output_sigma);
+        // Heavy-tail mixture (mirrors `SessionModel`'s long-turn draw).
+        // The extra uniform is only consumed when the mixture is armed,
+        // so zero-`heavy_frac` models sample byte-identically to the
+        // pre-mixture code.
+        let mult = if self.heavy_frac > 0.0 {
+            let giant: f64 = rng.gen();
+            if giant < self.heavy_frac {
+                self.heavy_mult
+            } else {
+                1.0
+            }
+        } else {
+            1.0
+        };
         (
-            (prompt.round() as usize).clamp(self.min_prompt, self.max_prompt),
-            (output.round() as usize).clamp(self.min_output, self.max_output),
+            ((prompt * mult).round() as usize).clamp(self.min_prompt, self.max_prompt),
+            ((output * mult).round() as usize).clamp(self.min_output, self.max_output),
         )
     }
 }
@@ -204,5 +262,62 @@ mod tests {
     #[should_panic(expected = "max_output")]
     fn zero_cap_rejected() {
         let _ = LengthModel::alpaca().with_max_output(0);
+    }
+
+    #[test]
+    fn zero_heavy_frac_is_byte_identical_to_plain_alpaca() {
+        // The mixture draw must not consume RNG state when disarmed.
+        let plain = LengthModel::alpaca();
+        let armed_off = LengthModel::alpaca().with_heavy_tail(0.0, 6.0);
+        for idx in 0..300 {
+            assert_eq!(plain.sample(idx, 17), armed_off.sample(idx, 17));
+        }
+    }
+
+    #[test]
+    fn heavy_tail_giants_appear_at_roughly_the_configured_rate() {
+        let heavy = LengthModel::heavy_tailed();
+        let plain = {
+            let mut m = heavy.clone();
+            m.heavy_frac = 0.0;
+            m
+        };
+        let giants = (0..600)
+            .filter(|&i| heavy.sample(i, 5) != plain.sample(i, 5))
+            .count();
+        let frac = giants as f64 / 600.0;
+        assert!(
+            (0.05..0.2).contains(&frac),
+            "~10% of requests should be giants, got {frac:.2}"
+        );
+        // Giants really are giant: the scaled draws dwarf the medians.
+        let (gp, go) = (0..600)
+            .map(|i| heavy.sample(i, 5))
+            .max_by_key(|&(p, o)| p + o)
+            .unwrap();
+        assert!(gp + go > 2000, "biggest request ({gp}+{go}) must be giant");
+    }
+
+    #[test]
+    fn heavy_tail_skews_the_distribution_not_the_body() {
+        let heavy = LengthModel::heavy_tailed();
+        let mut totals: Vec<usize> = (0..500).map(|i| heavy.sample(i, 23).0).collect();
+        totals.sort_unstable();
+        let median = totals[250] as f64;
+        let p99 = totals[494] as f64;
+        assert!(
+            p99 > 4.0 * median,
+            "tail must dominate the body: p99 {p99} vs median {median}"
+        );
+        assert!(
+            (median - heavy.prompt_median).abs() < heavy.prompt_median,
+            "the body stays Alpaca-shaped (median {median})"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "heavy_mult")]
+    fn sub_unit_heavy_mult_rejected() {
+        let _ = LengthModel::alpaca().with_heavy_tail(0.1, 0.5);
     }
 }

@@ -1,0 +1,90 @@
+//! Queue-discipline walkthrough: same KV pricing, four admission
+//! orders, one heavy-tailed request mix.
+//!
+//! `AdmissionPolicy` decides how much HBM a request costs;
+//! `QueueDiscipline` decides which queued request gets the next slice
+//! of it. On traffic whose length distribution has a giant tail, that
+//! ordering is worth real goodput: an FCFS queue regularly has a giant
+//! parked at its head while a stream of cheap requests — each of which
+//! would fit right now — waits behind it. This example runs the same
+//! trace through FCFS, shortest-job-first (aged so nothing starves),
+//! best-fit packing, and preemptive SJF (evict the cheapest-to-restart
+//! victim for a candidate blocked past its patience), then prints the
+//! goodput/tail-latency scoreboard.
+//!
+//! ```sh
+//! cargo run --release --example admission_disciplines
+//! ```
+
+use alisa_memsim::HardwareSpec;
+use alisa_model::ModelConfig;
+use alisa_serve::{
+    AdmissionPolicy, ArrivalProcess, QueueDiscipline, ServeConfig, ServeEngine, Trace,
+};
+use alisa_workloads::LengthModel;
+
+fn main() {
+    let model = ModelConfig::opt_6_7b();
+    let hw = HardwareSpec::v100_16gb();
+    // Alpaca-shaped bodies with a ~10% tail of 6x giants: the shape
+    // that makes queue order matter.
+    let lengths = LengthModel::heavy_tailed();
+    let seed = 2026;
+    let n = 120;
+    let rate = 6.0;
+
+    let base = ServeConfig::new(model.clone(), hw.clone(), AdmissionPolicy::alisa());
+    let timeout = 5.0 * base.slo.ttft_s;
+    println!("model:    {model}");
+    println!("hardware: {hw}");
+    println!(
+        "SLO:      ttft <= {:.2}s, tbt <= {:.0}ms (hardware-derived), queue timeout {timeout:.1}s",
+        base.slo.ttft_s,
+        base.slo.tbt_s * 1e3
+    );
+    println!(
+        "load:     {rate} req/s Poisson, {n} requests, {:.0}% giants at {:.0}x length\n",
+        100.0 * lengths.heavy_frac,
+        lengths.heavy_mult
+    );
+
+    let disciplines = [
+        QueueDiscipline::fcfs(),
+        QueueDiscipline::sjf().with_aging(timeout),
+        QueueDiscipline::best_fit(),
+        QueueDiscipline::preemptive_sjf()
+            .with_aging(timeout)
+            .with_patience(base.slo.ttft_s),
+    ];
+
+    let trace = Trace::generate(&ArrivalProcess::Poisson { rate }, &lengths, n, seed);
+    println!(
+        "{:<16} {:>8} {:>7} {:>9} {:>9} {:>9} {:>9}",
+        "discipline", "goodput", "slo%", "p50 ttft", "p99 ttft", "preempts", "rejected"
+    );
+    for d in disciplines {
+        let cfg = ServeConfig::new(model.clone(), hw.clone(), AdmissionPolicy::alisa())
+            .with_queue_timeout(timeout)
+            .with_discipline(d);
+        let r = ServeEngine::new(cfg).run(&trace);
+        let preempts = r.discipline.as_ref().map_or(0, |s| s.preemptions);
+        println!(
+            "{:<16} {:>8.3} {:>6.1}% {:>8.3}s {:>8.3}s {:>9} {:>9}",
+            d.name(),
+            r.goodput_rps,
+            100.0 * r.slo_attainment,
+            r.ttft.p50,
+            r.ttft.p99,
+            preempts,
+            r.rejected
+        );
+    }
+
+    println!(
+        "\nSame pricing model, same trace, same SLO — only the order the\n\
+         KV budget is spent in changed. Size-aware orderings route the\n\
+         cheap stream around the giants (and preemption reclaims HBM\n\
+         from them mid-decode), which is exactly the §V-C scheduler\n\
+         lever fig17_admission sweeps across arrival rates."
+    );
+}

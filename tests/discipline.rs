@@ -1,0 +1,360 @@
+//! Integration tests of the admission-API split: `AdmissionPolicy`
+//! stays the pure KV-pricing model, `QueueDiscipline` owns ordering and
+//! preemption. The invariants pinned here:
+//!
+//! * FCFS (the default) reproduces the pre-split golden `ServeReport`
+//!   fixtures byte-for-byte, and an explicit `with_discipline(fcfs)`
+//!   equals the default-constructed config byte-for-byte;
+//! * every discipline conserves requests — `admitted + rejected ==
+//!   offered`, and preempted requests are re-queued, never lost;
+//! * SJF with aging admits every request eventually (no starvation),
+//!   and size-aware orderings actually break FCFS's head-of-line block;
+//! * discipline stats appear in the canonical text iff a non-FCFS
+//!   discipline ran, so pre-split fixtures cannot see them.
+
+use alisa_memsim::HardwareSpec;
+use alisa_model::ModelConfig;
+use alisa_serve::{
+    AdmissionPolicy, ArrivalProcess, QueueDiscipline, Router, RouterConfig, ServeConfig,
+    ServeEngine, Trace, TraceEntry,
+};
+use alisa_workloads::LengthModel;
+
+fn golden(name: &str) -> String {
+    let path = format!("{}/tests/golden/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("missing fixture {path}: {e}"))
+}
+
+fn v100_config(policy: AdmissionPolicy) -> ServeConfig {
+    ServeConfig::new(ModelConfig::opt_6_7b(), HardwareSpec::v100_16gb(), policy)
+}
+
+fn heavy_trace(rate: f64, n: usize, seed: u64) -> Trace {
+    Trace::generate(
+        &ArrivalProcess::Poisson { rate },
+        &LengthModel::heavy_tailed(),
+        n,
+        seed,
+    )
+}
+
+fn all_disciplines() -> [QueueDiscipline; 4] {
+    [
+        QueueDiscipline::fcfs(),
+        QueueDiscipline::sjf().with_aging(5.0),
+        QueueDiscipline::best_fit(),
+        QueueDiscipline::preemptive_sjf()
+            .with_aging(5.0)
+            .with_patience(0.5),
+    ]
+}
+
+/// A giant request that nearly fills the budget, then a stream of cheap
+/// ones arriving while it decodes — the head-of-line shape.
+fn giant_then_shorts(shorts: usize) -> Trace {
+    let mut entries = vec![TraceEntry::single_shot(0.0, 2048, 1024)];
+    for i in 0..shorts {
+        entries.push(TraceEntry::single_shot(0.5 + 0.25 * i as f64, 64, 32));
+    }
+    Trace::new(entries).expect("valid trace")
+}
+
+/// The explicit FCFS discipline is the default: byte-identical reports
+/// on the pre-split golden fixtures (same config and traces as
+/// `precision_backcompat.rs`).
+#[test]
+fn fcfs_reproduces_pre_split_golden_fixtures() {
+    for seed in [7u64, 42] {
+        let trace = Trace::generate(
+            &ArrivalProcess::Poisson { rate: 6.0 },
+            &LengthModel::alpaca().with_max_output(48),
+            50,
+            seed,
+        );
+        let cfg = v100_config(AdmissionPolicy::alisa()).with_discipline(QueueDiscipline::fcfs());
+        let report = ServeEngine::new(cfg).run(&trace);
+        assert_eq!(
+            report.canonical_text(),
+            golden(&format!("serve_int8_seed{seed}.txt")),
+            "explicit FCFS diverged from the pre-discipline run (seed {seed})"
+        );
+    }
+}
+
+/// `with_discipline(fcfs)` equals the default-constructed config
+/// byte-for-byte, for every admission policy and load level.
+#[test]
+fn explicit_fcfs_equals_default_config() {
+    for policy in [
+        AdmissionPolicy::alisa(),
+        AdmissionPolicy::vllm(),
+        AdmissionPolicy::flexgen(),
+    ] {
+        for rate in [2.0, 8.0] {
+            let trace = heavy_trace(rate, 50, 3);
+            let default = ServeEngine::new(v100_config(policy)).run(&trace);
+            let explicit =
+                ServeEngine::new(v100_config(policy).with_discipline(QueueDiscipline::fcfs()))
+                    .run(&trace);
+            assert_eq!(
+                default.canonical_text().into_bytes(),
+                explicit.canonical_text().into_bytes(),
+                "{} at {rate} req/s",
+                policy.name()
+            );
+        }
+    }
+}
+
+/// Request conservation under every discipline, loaded and overloaded,
+/// with and without timeouts: admitted + rejected == offered, and
+/// without a timeout every admitted request runs to completion
+/// (preempted requests are re-queued and finish, never dropped).
+#[test]
+fn every_discipline_conserves_requests() {
+    for discipline in all_disciplines() {
+        for (rate, timeout) in [(4.0, f64::INFINITY), (20.0, 2.0)] {
+            let cfg = v100_config(AdmissionPolicy::alisa())
+                .with_discipline(discipline)
+                .with_queue_timeout(timeout);
+            let r = ServeEngine::new(cfg).run(&heavy_trace(rate, 60, 11));
+            assert_eq!(r.arrived, 60, "{}", discipline.name());
+            assert_eq!(
+                r.admitted + r.rejected,
+                r.arrived,
+                "{} at {rate} req/s: admitted {} + rejected {} != arrived {}",
+                discipline.name(),
+                r.admitted,
+                r.rejected,
+                r.arrived
+            );
+            assert_eq!(
+                r.completed,
+                r.admitted,
+                "{}: every admitted request must finish — preemption re-queues, never drops",
+                discipline.name()
+            );
+        }
+    }
+}
+
+/// SJF breaks the head-of-line block: with a giant decoding and cheap
+/// requests queued behind a giant arrival, size-aware ordering must
+/// finish the shorts sooner than FCFS does.
+#[test]
+fn sjf_breaks_head_of_line_blocking() {
+    // Two giants whose dense reservations cannot coexist on a
+    // V100-16GB (each ~1.9 GiB of a ~3.6 GiB budget, plus activations
+    // and the short stream), so the second giant blocks the FCFS queue
+    // while the first one decodes.
+    let mut entries = vec![
+        TraceEntry::single_shot(0.0, 3000, 800),
+        TraceEntry::single_shot(0.1, 3000, 800),
+    ];
+    for i in 0..20 {
+        entries.push(TraceEntry::single_shot(0.2 + 0.1 * i as f64, 64, 32));
+    }
+    let trace = Trace::new(entries).unwrap();
+    let run = |d: QueueDiscipline| {
+        ServeEngine::new(v100_config(AdmissionPolicy::vllm()).with_discipline(d)).run(&trace)
+    };
+    let fcfs = run(QueueDiscipline::fcfs());
+    let sjf = run(QueueDiscipline::sjf());
+    assert!(
+        sjf.ttft.p90 < fcfs.ttft.p90,
+        "SJF must admit the cheap stream past the queued giant: p90 ttft {} vs {}",
+        sjf.ttft.p90,
+        fcfs.ttft.p90
+    );
+    assert_eq!(sjf.completed, fcfs.completed, "both drain everything");
+}
+
+/// Aging bounds starvation: under pure SJF a giant is overtaken by
+/// every later short request; with a finite aging horizon its key
+/// decays to zero and it must be admitted no later than under pure
+/// SJF — and within the horizon once the queue pressure allows.
+#[test]
+fn aging_admits_the_giant_eventually() {
+    let trace = giant_then_shorts(200);
+    let admit_time = |aging: f64| {
+        let cfg = v100_config(AdmissionPolicy::vllm())
+            .with_discipline(QueueDiscipline::sjf().with_aging(aging));
+        let r = ServeEngine::new(cfg).run(&trace);
+        assert_eq!(r.completed, r.arrived, "nothing starves in a finite trace");
+        r
+    };
+    let pure = admit_time(f64::INFINITY);
+    let aged = admit_time(2.0);
+    // Everything completes either way (finite trace), but the aged run
+    // must not serve the giant any later than pure SJF does.
+    assert!(
+        aged.e2e.max <= pure.e2e.max + 1e-9,
+        "aging must not delay the most-starved request: {} vs {}",
+        aged.e2e.max,
+        pure.e2e.max
+    );
+}
+
+/// Preemption engages under pressure, counts correctly, and loses
+/// nothing: the canonical report's discipline line matches the
+/// per-request preemption counters.
+#[test]
+fn preemption_counts_and_conserves() {
+    let cfg = v100_config(AdmissionPolicy::alisa()).with_discipline(
+        QueueDiscipline::preemptive_sjf()
+            .with_aging(5.0)
+            .with_patience(0.1),
+    );
+    let r = ServeEngine::new(cfg).run(&heavy_trace(8.0, 80, 42));
+    let stats = r.discipline.as_ref().expect("non-FCFS run must report");
+    assert_eq!(stats.discipline, "preemptive-sjf");
+    assert!(
+        stats.preemptions > 0,
+        "heavy overload must trigger eviction"
+    );
+    assert!(stats.preempted_requests > 0);
+    assert!(stats.preempted_requests <= stats.preemptions);
+    assert_eq!(r.admitted + r.rejected, r.arrived);
+    assert_eq!(r.completed, r.admitted, "preempted requests still finish");
+    assert!(
+        r.canonical_text().contains("discipline preemptive-sjf"),
+        "stats must surface in the canonical text"
+    );
+}
+
+/// The discipline line appears iff a non-FCFS discipline ran — FCFS
+/// reports (and hence all pre-split fixtures) never see it.
+#[test]
+fn discipline_stats_are_gated_to_non_fcfs() {
+    let trace = heavy_trace(4.0, 30, 9);
+    for discipline in all_disciplines() {
+        let cfg = v100_config(AdmissionPolicy::alisa()).with_discipline(discipline);
+        let r = ServeEngine::new(cfg).run(&trace);
+        assert_eq!(
+            r.discipline.is_some(),
+            !discipline.is_fcfs(),
+            "{}",
+            discipline.name()
+        );
+        assert_eq!(
+            r.canonical_text().contains("\ndiscipline "),
+            !discipline.is_fcfs(),
+            "{}",
+            discipline.name()
+        );
+    }
+}
+
+/// Determinism: byte-identical reports per (config, trace) for every
+/// discipline, including the preemptive one.
+#[test]
+fn disciplines_are_deterministic() {
+    for discipline in all_disciplines() {
+        let run = || {
+            let cfg = v100_config(AdmissionPolicy::alisa())
+                .with_discipline(discipline)
+                .with_queue_timeout(3.0);
+            ServeEngine::new(cfg).run(&heavy_trace(10.0, 70, 0xD15C))
+        };
+        assert_eq!(
+            run().canonical_text().into_bytes(),
+            run().canonical_text().into_bytes(),
+            "{}",
+            discipline.name()
+        );
+    }
+}
+
+/// The discipline threads through the router: a 1-replica fleet under
+/// any discipline reproduces the single engine byte-for-byte, and a
+/// multi-replica fleet conserves requests under every load-balance
+/// policy × discipline combination.
+#[test]
+fn router_threads_disciplines() {
+    use alisa_serve::LoadBalancePolicy;
+    let trace = heavy_trace(6.0, 50, 21);
+    for discipline in all_disciplines() {
+        let cfg = v100_config(AdmissionPolicy::alisa()).with_discipline(discipline);
+        // 1-replica fleet == engine, byte for byte.
+        let engine = ServeEngine::new(cfg.clone()).run(&trace);
+        let fleet = Router::new(RouterConfig::homogeneous(cfg.clone(), 1)).run(&trace);
+        assert_eq!(
+            fleet.replicas[0].canonical_text().into_bytes(),
+            engine.canonical_text().into_bytes(),
+            "{}",
+            discipline.name()
+        );
+        // Multi-replica conservation under every LB policy.
+        for lb in [
+            LoadBalancePolicy::RoundRobin,
+            LoadBalancePolicy::LeastOutstanding,
+            LoadBalancePolicy::LeastKvPressure,
+            LoadBalancePolicy::Sticky { sessions: 6 },
+        ] {
+            let r = Router::new(RouterConfig::homogeneous(cfg.clone(), 3).with_lb(lb)).run(&trace);
+            assert_eq!(r.fleet.arrived, 50, "{} {}", discipline.name(), lb.name());
+            assert_eq!(
+                r.fleet.admitted + r.fleet.rejected,
+                r.fleet.arrived,
+                "{} {}",
+                discipline.name(),
+                lb.name()
+            );
+            assert_eq!(
+                r.fleet.completed,
+                r.fleet.admitted,
+                "{} {}",
+                discipline.name(),
+                lb.name()
+            );
+        }
+    }
+}
+
+/// Disaggregated tiers never preempt (a handed-off decode request
+/// cannot re-prefill on a decode-only replica), but the fleet still
+/// conserves and completes under a preemptive discipline.
+#[test]
+fn disaggregation_is_preemption_safe() {
+    let cfg = v100_config(AdmissionPolicy::alisa()).with_discipline(
+        QueueDiscipline::preemptive_sjf()
+            .with_aging(5.0)
+            .with_patience(0.1),
+    );
+    let router = Router::new(RouterConfig::homogeneous(cfg, 3).with_disagg(1));
+    let trace = heavy_trace(6.0, 40, 5);
+    let r = router.run(&trace);
+    assert_eq!(r.fleet.admitted + r.fleet.rejected, 40);
+    assert_eq!(r.fleet.completed, r.fleet.admitted);
+    assert!(r.handoffs > 0, "the disagg pipeline must still flow");
+    let stats = r.fleet.discipline.as_ref().expect("non-FCFS fleet reports");
+    assert_eq!(
+        stats.preemptions, 0,
+        "disaggregated tiers must never evict mid-flight requests"
+    );
+}
+
+/// Preemptive SJF must not regress goodput vs FCFS under the
+/// heavy-tailed overload it is built for (the fig17 gate, pinned as a
+/// test at one operating point).
+#[test]
+fn preemptive_sjf_beats_fcfs_at_saturation() {
+    let timeout = 5.0 * v100_config(AdmissionPolicy::alisa()).slo.ttft_s;
+    let trace = heavy_trace(8.0, 100, 42);
+    let run = |d: QueueDiscipline| {
+        let cfg = v100_config(AdmissionPolicy::alisa())
+            .with_discipline(d)
+            .with_queue_timeout(timeout);
+        ServeEngine::new(cfg).run(&trace)
+    };
+    let fcfs = run(QueueDiscipline::fcfs());
+    let pre = run(QueueDiscipline::preemptive_sjf()
+        .with_aging(timeout)
+        .with_patience(timeout / 5.0));
+    assert!(
+        pre.goodput_rps >= fcfs.goodput_rps,
+        "preemptive SJF ({:.3} req/s) must not lose to FCFS ({:.3} req/s)",
+        pre.goodput_rps,
+        fcfs.goodput_rps
+    );
+}

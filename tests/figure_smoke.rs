@@ -96,3 +96,8 @@ fn fig15_mixed_precision_runs() {
 fn fig16_multi_turn_runs() {
     run_quick("fig16_multi_turn");
 }
+
+#[test]
+fn fig17_admission_runs() {
+    run_quick("fig17_admission");
+}
