@@ -14,8 +14,15 @@
 //! ```sh
 //! cargo run --release --bin fig13_online_serving [-- --quick] [-- --seed N]
 //! ```
+//!
+//! Observability flags (default output is byte-identical without them):
+//! `--events <path>` streams a structured JSONL event log of the
+//! highest-rate ALISA run (validate with the `trace_check` bin, render
+//! with `alisa_obs::perfetto`); `--profile` prints a wall-time
+//! breakdown of the simulator's own phases and the `profile-json` line
+//! committed as `BENCH_profile.json`. See `docs/OBSERVABILITY.md`.
 
-use alisa_bench::{banner, f, quick_mode, row, seed_arg};
+use alisa_bench::{banner, events_arg, f, quick_mode, row, seed_arg, ProfileScope};
 use alisa_memsim::HardwareSpec;
 use alisa_model::ModelConfig;
 use alisa_serve::{AdmissionPolicy, ArrivalProcess, ServeConfig, ServeEngine, Trace};
@@ -24,6 +31,7 @@ use alisa_workloads::LengthModel;
 fn main() {
     let quick = quick_mode();
     let seed = seed_arg();
+    let prof = ProfileScope::begin();
     let model = ModelConfig::opt_6_7b();
     let hw = HardwareSpec::v100_16gb();
     // Quick mode keeps the full Alpaca lengths and includes one rate
@@ -99,6 +107,16 @@ fn main() {
         }
     );
     println!("\n(paper context: sparsity-aware KV budgeting converts the offline throughput win of Fig. 9 into serving goodput)");
+    prof.finish();
+    events_arg(|sink| {
+        // The highest swept rate exercises the most decision points
+        // (saturation => queueing, timeouts, rejections).
+        let rate = rates[rates.len() - 1];
+        let trace = Trace::generate(&ArrivalProcess::Poisson { rate }, &lengths, n, seed);
+        let cfg = ServeConfig::new(model.clone(), hw.clone(), AdmissionPolicy::alisa())
+            .with_queue_timeout(5.0 * base.slo.ttft_s);
+        let _ = ServeEngine::new(cfg).run_traced(&trace, sink);
+    });
     if !alisa_always_wins {
         // Fail loudly so the smoke test and CI catch the regression,
         // not just a human reading the table.

@@ -28,8 +28,15 @@
 //! ```sh
 //! cargo run --release --bin fig17_admission [-- --quick] [-- --seed N]
 //! ```
+//!
+//! Observability flags (default output is byte-identical without them):
+//! `--events <path>` streams a structured JSONL event log of the
+//! highest-rate preemptive-SJF run — the richest stream this repo
+//! produces (admission pricing, preemption decision traces, timeout
+//! rejections); `--profile` prints the simulator's own phase breakdown.
+//! See `docs/OBSERVABILITY.md`.
 
-use alisa_bench::{banner, f, quick_mode, row, seed_arg};
+use alisa_bench::{banner, events_arg, f, quick_mode, row, seed_arg, ProfileScope};
 use alisa_memsim::HardwareSpec;
 use alisa_model::ModelConfig;
 use alisa_serve::{
@@ -40,6 +47,7 @@ use alisa_workloads::LengthModel;
 fn main() {
     let quick = quick_mode();
     let seed = seed_arg();
+    let prof = ProfileScope::begin();
     let model = ModelConfig::opt_6_7b();
     let hw = HardwareSpec::v100_16gb();
     // The fig13 rates; quick mode keeps one rate past the saturation
@@ -156,6 +164,17 @@ fn main() {
         verdict(alisa_always_wins)
     );
     println!("\n(paper context: §V-C's scheduler decides which queued request gets the freed HBM — size-aware orderings break the head-of-line blocking FCFS suffers on heavy-tailed traffic)");
+    prof.finish();
+    events_arg(|sink| {
+        // Preemptive SJF at the highest rate: the stream with every
+        // decision kind in it, preemption traces included.
+        let rate = rates[rates.len() - 1];
+        let trace = Trace::generate(&ArrivalProcess::Poisson { rate }, &lengths, n, seed);
+        let cfg = ServeConfig::new(model.clone(), hw.clone(), AdmissionPolicy::alisa())
+            .with_queue_timeout(timeout)
+            .with_discipline(preemptive);
+        let _ = ServeEngine::new(cfg).run_traced(&trace, sink);
+    });
     if !(sjf_always_wins && preemptive_always_wins && alisa_always_wins) {
         // Fail loudly so the smoke test and CI catch the regression,
         // not just a human reading the table.

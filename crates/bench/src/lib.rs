@@ -7,21 +7,89 @@
 
 use std::fmt::Display;
 
+use alisa_obs::{profile, JsonlSink, TraceSink};
+
+/// Returns true if the bare flag `name` was passed.
+pub fn flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
+}
+
+/// Returns the value following the flag `name` (e.g. `--events path`),
+/// if both are present.
+pub fn arg_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
 /// Returns true if `--quick` was passed (reduced sweeps for CI/tests).
 pub fn quick_mode() -> bool {
-    std::env::args().any(|a| a == "--quick")
+    flag("--quick")
 }
 
 /// Parses `--seed N` from the command line, defaulting to 42 on a
 /// missing or malformed value. Shared by every gated figure binary so
 /// seed handling cannot drift between them.
 pub fn seed_arg() -> u64 {
-    let args: Vec<String> = std::env::args().collect();
-    args.iter()
-        .position(|a| a == "--seed")
-        .and_then(|i| args.get(i + 1))
+    arg_value("--seed")
         .and_then(|s| s.parse().ok())
         .unwrap_or(42)
+}
+
+/// Handles `--events <path>` for the serving figure binaries: when the
+/// flag is present, calls `replay` with a JSONL sink streaming to the
+/// path and reports the event count; without the flag this is a no-op
+/// and the binary's output stays byte-identical.
+pub fn events_arg(replay: impl FnOnce(&mut dyn TraceSink)) {
+    if let Some(path) = arg_value("--events") {
+        let mut sink = JsonlSink::create(&path).expect("--events path must be writable");
+        replay(&mut sink);
+        let n = sink.finish().expect("event log must flush cleanly");
+        println!("\nwrote {n} events to {path}");
+    }
+}
+
+/// Simulator self-profiling for a figure binary: construct before the
+/// sweep (arms the [`alisa_obs::profile`] collector when `--profile`
+/// was passed), call [`ProfileScope::finish`] after the sweep to print
+/// the phase breakdown plus the `profile-json` line that
+/// `BENCH_profile.json` is extracted from. Without `--profile` both
+/// ends are no-ops and the binary's output stays byte-identical —
+/// the profiler measures host wall time only and never touches
+/// simulation clocks.
+pub struct ProfileScope {
+    start: std::time::Instant,
+    on: bool,
+}
+
+impl ProfileScope {
+    /// Arms the profiler (under `--profile`) and anchors the wall
+    /// clock.
+    pub fn begin() -> Self {
+        let on = flag("--profile");
+        if on {
+            profile::reset();
+            profile::set_enabled(true);
+        }
+        ProfileScope {
+            start: std::time::Instant::now(),
+            on,
+        }
+    }
+
+    /// Stops collection and prints the breakdown (under `--profile`).
+    pub fn finish(self) {
+        if !self.on {
+            return;
+        }
+        profile::set_enabled(false);
+        let rep = profile::ProfileReport::capture(self.start.elapsed().as_nanos() as u64);
+        println!("\n--- simulator self-profile (--profile) ---");
+        print!("{}", rep.text());
+        println!("profile-json {}", rep.to_json());
+    }
 }
 
 /// Prints a figure/table banner.

@@ -170,29 +170,35 @@ impl SessionKvCache {
     /// an in-flight admission is about to consume) until at most
     /// `max_bytes` of *other* sessions' caches remain. Admission calls
     /// this with its post-admit headroom so retention always yields.
-    pub fn evict_until(&mut self, max_bytes: u64, keep: Option<usize>) {
+    ///
+    /// Returns the evicted entries in eviction (LRU) order so callers
+    /// can surface them — e.g. as `retention-evict` trace events.
+    pub fn evict_until(&mut self, max_bytes: u64, keep: Option<usize>) -> Vec<RetainedSession> {
         let kept_bytes = |s: &Self| {
             s.bytes
                 - keep
                     .and_then(|k| s.entries.iter().find(|e| e.session_id == k))
                     .map_or(0, |e| e.bytes)
         };
+        let mut evicted = Vec::new();
         while kept_bytes(self) > max_bytes {
             let victim = self
                 .entries
                 .iter()
                 .filter(|e| Some(e.session_id) != keep)
                 .min_by_key(|e| e.tick)
-                .map(|e| (e.session_id, e.bytes));
+                .copied();
             match victim {
-                Some((sid, b)) => {
-                    self.entries.retain(|e| e.session_id != sid);
-                    self.bytes -= b;
+                Some(v) => {
+                    self.entries.retain(|e| e.session_id != v.session_id);
+                    self.bytes -= v.bytes;
                     self.stats.evictions += 1;
+                    evicted.push(v);
                 }
                 None => break,
             }
         }
+        evicted
     }
 
     /// Retains `bytes` of session KV covering `[0, seq_len)` at turn

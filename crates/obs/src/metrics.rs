@@ -1,0 +1,354 @@
+//! Counters and histograms with a canonical, byte-stable text dump.
+//!
+//! A [`MetricsRegistry`] can be fed live (the engines call
+//! [`MetricsRegistry::record`] alongside each sink emission) or
+//! derived after the fact from a collected event stream with
+//! [`MetricsRegistry::from_events`] — both paths produce identical
+//! registries, which the integration tests assert.
+//!
+//! The canonical dump uses `BTreeMap` ordering and shortest
+//! round-trip float formatting, so equal registries always serialize
+//! to identical bytes — the property that lets the dump join
+//! `ServeReport`'s canonical text as an opt-in section.
+
+use crate::event::{Event, EventKind};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A log₂-bucketed histogram of `f64` observations.
+///
+/// Buckets are indexed by `floor(log2(value))`; zero and negative
+/// observations land in a reserved floor bucket. This keeps the dump
+/// compact and deterministic while still answering "where does the
+/// mass live" at a glance.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Histogram {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: f64,
+    /// Smallest observation (0 when empty).
+    pub min: f64,
+    /// Largest observation (0 when empty).
+    pub max: f64,
+    buckets: BTreeMap<i32, u64>,
+}
+
+/// The floor bucket index for zero / negative / subnormal values.
+const FLOOR_BUCKET: i32 = i32::MIN;
+
+impl Histogram {
+    /// Records one observation.
+    pub fn observe(&mut self, value: f64) {
+        if self.count == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        self.count += 1;
+        self.sum += value;
+        let idx = if value > 0.0 && value.is_finite() {
+            value.log2().floor() as i32
+        } else {
+            FLOOR_BUCKET
+        };
+        *self.buckets.entry(idx).or_insert(0) += 1;
+    }
+
+    /// Mean of observations (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (idx, n) in &other.buckets {
+            *self.buckets.entry(*idx).or_insert(0) += n;
+        }
+    }
+}
+
+/// A named collection of counters and histograms.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    hists: BTreeMap<String, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a registry from a collected event stream. Produces the
+    /// same registry as calling [`MetricsRegistry::record`] live on
+    /// each event.
+    pub fn from_events(events: &[Event]) -> Self {
+        let mut reg = Self::new();
+        for e in events {
+            reg.record(e);
+        }
+        reg
+    }
+
+    /// Increments a counter by `by`.
+    pub fn inc(&mut self, name: &str, by: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += by;
+    }
+
+    /// Records one observation into a named histogram.
+    pub fn observe(&mut self, name: &str, value: f64) {
+        self.hists
+            .entry(name.to_string())
+            .or_default()
+            .observe(value);
+    }
+
+    /// Reads a counter (0 when never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Reads a histogram, if any observation was recorded under `name`.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.hists.get(name)
+    }
+
+    /// Applies the standard event → metric mapping for one event.
+    pub fn record(&mut self, event: &Event) {
+        match &event.kind {
+            EventKind::Arrival { .. } => self.inc("arrived", 1),
+            EventKind::Admitted { queue_wait_s, .. } => {
+                self.inc("admitted", 1);
+                self.observe("queue_wait_s", *queue_wait_s);
+            }
+            EventKind::Rejected {
+                reason,
+                queue_wait_s,
+                ..
+            } => {
+                self.inc("rejected", 1);
+                self.inc(&format!("rejected_{}", reason.replace('-', "_")), 1);
+                self.observe("queue_wait_s", *queue_wait_s);
+            }
+            EventKind::Preempted { .. } => self.inc("preemptions", 1),
+            EventKind::RetentionHit { reused_tokens, .. } => {
+                self.inc("retention_hits", 1);
+                self.inc("reused_tokens", *reused_tokens as u64);
+            }
+            EventKind::RetentionMiss { .. } => self.inc("retention_misses", 1),
+            EventKind::RetentionStore { .. } => self.inc("retention_stores", 1),
+            EventKind::RetentionEvict { .. } => self.inc("retention_evictions", 1),
+            EventKind::Transcode { .. } => self.inc("transcodes", 1),
+            EventKind::Step {
+                dur_s,
+                prefills,
+                decodes,
+                ..
+            } => {
+                self.inc("steps", 1);
+                self.observe("step_time_s", *dur_s);
+                self.observe("batch", (*prefills + *decodes) as f64);
+            }
+            EventKind::Finished { e2e_s, .. } => {
+                self.inc("finished", 1);
+                self.observe("e2e_s", *e2e_s);
+            }
+            EventKind::Dispatch { .. } => self.inc("dispatches", 1),
+            EventKind::Requeue { .. } => self.inc("requeues", 1),
+            EventKind::Handoff { .. } => self.inc("handoffs", 1),
+        }
+    }
+
+    /// Merges another registry into this one (fleet-level rollups).
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (name, v) in &other.counters {
+            *self.counters.entry(name.clone()).or_insert(0) += v;
+        }
+        for (name, h) in &other.hists {
+            self.hists.entry(name.clone()).or_default().merge(h);
+        }
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.hists.is_empty()
+    }
+
+    /// The canonical, byte-stable text dump.
+    ///
+    /// One line per metric, `BTreeMap` order, counters first:
+    ///
+    /// ```text
+    /// counter admitted 42
+    /// hist queue_wait_s count=42 sum=3.5 min=0 max=0.5 buckets=floor:3,-4:12,-3:27
+    /// ```
+    pub fn canonical_text(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            let _ = writeln!(out, "counter {name} {v}");
+        }
+        for (name, h) in &self.hists {
+            let _ = write!(
+                out,
+                "hist {name} count={} sum={} min={} max={} buckets=",
+                h.count, h.sum, h.min, h.max
+            );
+            for (i, (idx, n)) in h.buckets.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                if *idx == FLOOR_BUCKET {
+                    let _ = write!(out, "floor:{n}");
+                } else {
+                    let _ = write!(out, "{idx}:{n}");
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses a dump produced by [`MetricsRegistry::canonical_text`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending line on malformed input.
+    pub fn from_canonical_text(text: &str) -> Result<Self, String> {
+        let mut reg = Self::new();
+        for line in text.lines() {
+            let mut parts = line.split_whitespace();
+            match parts.next() {
+                Some("counter") => {
+                    let name = parts.next().ok_or_else(|| bad(line))?;
+                    let v: u64 = parts
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or_else(|| bad(line))?;
+                    reg.counters.insert(name.to_string(), v);
+                }
+                Some("hist") => {
+                    let name = parts.next().ok_or_else(|| bad(line))?;
+                    let mut h = Histogram::default();
+                    for field in parts {
+                        let (key, val) = field.split_once('=').ok_or_else(|| bad(line))?;
+                        match key {
+                            "count" => h.count = val.parse().map_err(|_| bad(line))?,
+                            "sum" => h.sum = val.parse().map_err(|_| bad(line))?,
+                            "min" => h.min = val.parse().map_err(|_| bad(line))?,
+                            "max" => h.max = val.parse().map_err(|_| bad(line))?,
+                            "buckets" => {
+                                for pair in val.split(',').filter(|p| !p.is_empty()) {
+                                    let (idx, n) = pair.split_once(':').ok_or_else(|| bad(line))?;
+                                    let idx = if idx == "floor" {
+                                        FLOOR_BUCKET
+                                    } else {
+                                        idx.parse().map_err(|_| bad(line))?
+                                    };
+                                    h.buckets.insert(idx, n.parse().map_err(|_| bad(line))?);
+                                }
+                            }
+                            _ => return Err(bad(line)),
+                        }
+                    }
+                    reg.hists.insert(name.to_string(), h);
+                }
+                _ => return Err(bad(line)),
+            }
+        }
+        Ok(reg)
+    }
+}
+
+fn bad(line: &str) -> String {
+    format!("malformed metrics line `{line}`")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_tracks_count_sum_min_max() {
+        let mut h = Histogram::default();
+        for v in [0.5, 2.0, 0.25, 8.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.count, 4);
+        assert_eq!(h.sum, 10.75);
+        assert_eq!(h.min, 0.25);
+        assert_eq!(h.max, 8.0);
+        assert_eq!(h.mean(), 2.6875);
+    }
+
+    #[test]
+    fn zero_and_negative_land_in_floor_bucket() {
+        let mut h = Histogram::default();
+        h.observe(0.0);
+        h.observe(-1.0);
+        h.observe(1.0);
+        assert_eq!(h.buckets.get(&FLOOR_BUCKET), Some(&2));
+        assert_eq!(h.buckets.get(&0), Some(&1));
+    }
+
+    #[test]
+    fn canonical_text_round_trips() {
+        let mut reg = MetricsRegistry::new();
+        reg.inc("arrived", 7);
+        reg.inc("admitted", 5);
+        reg.observe("queue_wait_s", 0.0);
+        reg.observe("queue_wait_s", 0.125);
+        reg.observe("queue_wait_s", 3.0);
+        let text = reg.canonical_text();
+        let back = MetricsRegistry::from_canonical_text(&text).unwrap();
+        assert_eq!(back, reg);
+        assert_eq!(back.canonical_text(), text);
+    }
+
+    #[test]
+    fn merge_matches_recording_everything_in_one_registry() {
+        let mut a = MetricsRegistry::new();
+        a.inc("steps", 3);
+        a.observe("step_time_s", 0.5);
+        let mut b = MetricsRegistry::new();
+        b.inc("steps", 2);
+        b.inc("handoffs", 1);
+        b.observe("step_time_s", 0.25);
+        b.observe("e2e_s", 2.0);
+
+        let mut merged = a.clone();
+        merged.merge(&b);
+        let mut direct = MetricsRegistry::new();
+        direct.inc("steps", 5);
+        direct.inc("handoffs", 1);
+        direct.observe("step_time_s", 0.5);
+        direct.observe("step_time_s", 0.25);
+        direct.observe("e2e_s", 2.0);
+        assert_eq!(merged, direct);
+    }
+
+    #[test]
+    fn malformed_dump_lines_error() {
+        for bad in ["bogus x 1", "counter only_name", "hist h count=x"] {
+            assert!(MetricsRegistry::from_canonical_text(bad).is_err(), "{bad}");
+        }
+    }
+}

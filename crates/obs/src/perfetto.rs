@@ -1,0 +1,315 @@
+//! Chrome trace-event / Perfetto JSON export.
+//!
+//! Renders a collected event stream as a trace you can drop into
+//! `chrome://tracing` or <https://ui.perfetto.dev>:
+//!
+//! * one **process lane per replica** (`pid` = replica index; events
+//!   with no replica coordinate render on pid 0, which is also what a
+//!   single-engine run uses);
+//! * engine **steps** as duration slices on each replica's `tid` 0;
+//! * one **span per admitted request** (`tid` = request id + 1),
+//!   opened at admission and closed at finish or preemption — a
+//!   preempted-then-readmitted request renders as two slices with a
+//!   visible gap, which is exactly the re-prefill cost;
+//! * **instants** for rejections and preemptions carrying the
+//!   `decision_trace` in `args`;
+//! * **KV handoffs** as slices on the destination replica spanning
+//!   the transfer latency.
+//!
+//! Timestamps convert the simulation clock to microseconds (the
+//! trace-event unit); output is deterministic for a deterministic
+//! input stream.
+
+use crate::event::{Event, EventKind};
+use crate::json::escape;
+use std::collections::BTreeSet;
+use std::collections::HashMap;
+
+/// Seconds → trace-event microseconds.
+fn us(t: f64) -> f64 {
+    t * 1e6
+}
+
+/// Renders the event stream as a Chrome trace-event JSON document.
+pub fn chrome_trace(events: &[Event]) -> String {
+    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+    let mut first = true;
+    let mut push = |line: String, first: &mut bool| {
+        if !*first {
+            out.push_str(",\n");
+        }
+        *first = false;
+        out.push_str(&line);
+        // Closure keeps `out` borrowed; returned at the end instead.
+    };
+
+    // Process-name metadata first, one per lane seen in the stream.
+    let lanes: BTreeSet<usize> = events.iter().map(|e| e.replica.unwrap_or(0)).collect();
+    for pid in &lanes {
+        push(
+            format!(
+                "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\
+                 \"args\":{{\"name\":\"replica {pid}\"}}}}"
+            ),
+            &mut first,
+        );
+    }
+
+    // Open request spans: request id -> (admit time, pid).
+    let mut open: HashMap<usize, (f64, usize)> = HashMap::new();
+
+    for e in events {
+        let pid = e.replica.unwrap_or(0);
+        match &e.kind {
+            EventKind::Step {
+                dur_s,
+                prefills,
+                decodes,
+                queue_depth,
+                ..
+            } => push(
+                format!(
+                    "{{\"name\":\"step\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":{pid},\
+                     \"tid\":0,\"args\":{{\"prefills\":{prefills},\"decodes\":{decodes},\
+                     \"queue_depth\":{queue_depth}}}}}",
+                    us(e.t),
+                    us(*dur_s)
+                ),
+                &mut first,
+            ),
+            EventKind::Admitted { .. } => {
+                if let Some(req) = e.request {
+                    open.insert(req, (e.t, pid));
+                }
+            }
+            EventKind::Finished { generated, .. } => {
+                if let Some(req) = e.request {
+                    if let Some((t0, span_pid)) = open.remove(&req) {
+                        push(
+                            format!(
+                                "{{\"name\":\"req {req}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+                                 \"pid\":{span_pid},\"tid\":{},\
+                                 \"args\":{{\"generated\":{generated}}}}}",
+                                us(t0),
+                                us(e.t - t0),
+                                req + 1
+                            ),
+                            &mut first,
+                        );
+                    }
+                }
+            }
+            EventKind::Preempted { decision_trace, .. } => {
+                if let Some(req) = e.request {
+                    // Close the running slice at the preemption point.
+                    if let Some((t0, span_pid)) = open.remove(&req) {
+                        push(
+                            format!(
+                                "{{\"name\":\"req {req}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+                                 \"pid\":{span_pid},\"tid\":{},\
+                                 \"args\":{{\"outcome\":\"preempted\"}}}}",
+                                us(t0),
+                                us(e.t - t0),
+                                req + 1
+                            ),
+                            &mut first,
+                        );
+                    }
+                    push(
+                        format!(
+                            "{{\"name\":\"preempted\",\"ph\":\"i\",\"ts\":{},\"pid\":{pid},\
+                             \"tid\":{},\"s\":\"t\",\"args\":{{\"decision_trace\":{}}}}}",
+                            us(e.t),
+                            req + 1,
+                            escape(decision_trace)
+                        ),
+                        &mut first,
+                    );
+                }
+            }
+            EventKind::Rejected {
+                reason,
+                decision_trace,
+                ..
+            } => push(
+                format!(
+                    "{{\"name\":\"rejected\",\"ph\":\"i\",\"ts\":{},\"pid\":{pid},\"tid\":{},\
+                     \"s\":\"t\",\"args\":{{\"reason\":{},\"decision_trace\":{}}}}}",
+                    us(e.t),
+                    e.request.map_or(0, |r| r + 1),
+                    escape(reason),
+                    escape(decision_trace)
+                ),
+                &mut first,
+            ),
+            EventKind::Handoff {
+                from,
+                to,
+                bytes,
+                transfer_s,
+            } => push(
+                format!(
+                    "{{\"name\":\"kv-handoff\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":{to},\
+                     \"tid\":{},\"args\":{{\"from\":{from},\"bytes\":{bytes}}}}}",
+                    us(e.t - transfer_s),
+                    us(*transfer_s),
+                    e.request.map_or(0, |r| r + 1)
+                ),
+                &mut first,
+            ),
+            // Queueing and retention events don't render as slices;
+            // the per-request span plus instants carry the story.
+            _ => {}
+        }
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t: f64, replica: Option<usize>, request: Option<usize>, kind: EventKind) -> Event {
+        Event {
+            t,
+            replica,
+            request,
+            kind,
+        }
+    }
+
+    #[test]
+    fn spans_instants_and_lanes_render() {
+        let events = vec![
+            ev(
+                0.0,
+                Some(0),
+                Some(1),
+                EventKind::Admitted {
+                    reservation_bytes: 10,
+                    kv_bytes: 8,
+                    activation_bytes: 2,
+                    reserved_after: 10,
+                    budget: 100,
+                    reused_prefix: 0,
+                    queue_wait_s: 0.0,
+                },
+            ),
+            ev(
+                0.5,
+                Some(0),
+                None,
+                EventKind::Step {
+                    dur_s: 0.5,
+                    prefills: 1,
+                    decodes: 0,
+                    kv_reserved: 10,
+                    queue_depth: 0,
+                },
+            ),
+            ev(
+                1.0,
+                Some(1),
+                Some(2),
+                EventKind::Rejected {
+                    reason: "infeasible".into(),
+                    queue_wait_s: 0.25,
+                    decision_trace: "res 200 > budget 100".into(),
+                },
+            ),
+            ev(
+                2.0,
+                Some(0),
+                Some(1),
+                EventKind::Finished {
+                    generated: 16,
+                    e2e_s: 2.0,
+                },
+            ),
+            ev(
+                3.0,
+                Some(1),
+                Some(3),
+                EventKind::Handoff {
+                    from: 0,
+                    to: 1,
+                    bytes: 4096,
+                    transfer_s: 0.5,
+                },
+            ),
+        ];
+        let trace = chrome_trace(&events);
+        // The document must parse as JSON...
+        let v = crate::json::parse(&trace).unwrap();
+        let items = v.get("traceEvents").unwrap().as_arr().unwrap();
+        // ...with two replica lanes, one step slice, one request span
+        // (2.0s long), one rejection instant, one handoff slice.
+        assert_eq!(
+            items
+                .iter()
+                .filter(|i| i.get("ph").unwrap().as_str() == Some("M"))
+                .count(),
+            2
+        );
+        let span = items
+            .iter()
+            .find(|i| i.get("name").unwrap().as_str() == Some("req 1"))
+            .unwrap();
+        assert_eq!(span.get("dur").unwrap().as_f64(), Some(2e6));
+        assert_eq!(span.get("tid").unwrap().as_u64(), Some(2));
+        assert!(items
+            .iter()
+            .any(|i| i.get("name").unwrap().as_str() == Some("rejected")));
+        let handoff = items
+            .iter()
+            .find(|i| i.get("name").unwrap().as_str() == Some("kv-handoff"))
+            .unwrap();
+        assert_eq!(handoff.get("ts").unwrap().as_f64(), Some(2.5e6));
+    }
+
+    #[test]
+    fn preemption_closes_the_running_span() {
+        let events = vec![
+            ev(
+                0.0,
+                None,
+                Some(5),
+                EventKind::Admitted {
+                    reservation_bytes: 10,
+                    kv_bytes: 8,
+                    activation_bytes: 2,
+                    reserved_after: 10,
+                    budget: 100,
+                    reused_prefix: 0,
+                    queue_wait_s: 0.0,
+                },
+            ),
+            ev(
+                1.0,
+                None,
+                Some(5),
+                EventKind::Preempted {
+                    victim_of: 6,
+                    restart_cost_s: 0.5,
+                    decision_trace: "sjf: 6 shorter".into(),
+                },
+            ),
+        ];
+        let trace = chrome_trace(&events);
+        let v = crate::json::parse(&trace).unwrap();
+        let items = v.get("traceEvents").unwrap().as_arr().unwrap();
+        let slice = items
+            .iter()
+            .find(|i| i.get("name").unwrap().as_str() == Some("req 5"))
+            .unwrap();
+        assert_eq!(slice.get("dur").unwrap().as_f64(), Some(1e6));
+        assert_eq!(
+            slice.get("args").unwrap().get("outcome").unwrap().as_str(),
+            Some("preempted")
+        );
+        assert!(items
+            .iter()
+            .any(|i| i.get("name").unwrap().as_str() == Some("preempted")));
+    }
+}

@@ -1,0 +1,305 @@
+//! Self-profiling of the simulator itself: real wall time bucketed
+//! into simulator phases.
+//!
+//! This is the one module in the crate that touches wall clocks, and
+//! it never feeds event timestamps — traces stay byte-stable while
+//! the profiler measures where the *host* time goes (the instrument
+//! the ROADMAP's "close the ~120× scheduler hot-path gap" item
+//! needs before any optimization can claim a win).
+//!
+//! Design: a process-global `AtomicBool` gate plus one relaxed
+//! `AtomicU64` pair (nanoseconds, calls) per [`Phase`]. Disabled cost
+//! at an instrumented site is a single relaxed load returning `None`;
+//! enabled cost is two `Instant` reads and two relaxed adds. Phases
+//! are **disjoint leaves** — no phase encloses another — so the
+//! bucket sum never double-counts and coverage is meaningful.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Instant;
+
+/// The disjoint simulator phases wall time is bucketed into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// `GlobalSetModel::pick` — the sparsity top-K selection.
+    TopK,
+    /// Arrival pumping, rejection scan, and idle-jump bookkeeping.
+    EventScan,
+    /// Queue-discipline ordering, admission, and preemption search.
+    Discipline,
+    /// Per-step KV pricing (`step_time_sessions`).
+    Pricing,
+    /// Token accounting, completions, and retention upkeep.
+    Accounting,
+    /// Router event-heap pump and replica dispatch.
+    Dispatch,
+    /// Workload generation (`Trace::generate*`).
+    TraceGen,
+    /// Report assembly (`ServeReport::from_requests`).
+    Report,
+}
+
+/// All phases, in display order.
+pub const PHASES: [Phase; 8] = [
+    Phase::TopK,
+    Phase::EventScan,
+    Phase::Discipline,
+    Phase::Pricing,
+    Phase::Accounting,
+    Phase::Dispatch,
+    Phase::TraceGen,
+    Phase::Report,
+];
+
+impl Phase {
+    /// Stable display / JSON name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::TopK => "topk-selection",
+            Phase::EventScan => "event-queue-scan",
+            Phase::Discipline => "discipline-ordering",
+            Phase::Pricing => "step-pricing",
+            Phase::Accounting => "token-accounting",
+            Phase::Dispatch => "router-dispatch",
+            Phase::TraceGen => "trace-generation",
+            Phase::Report => "report-build",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Phase::TopK => 0,
+            Phase::EventScan => 1,
+            Phase::Discipline => 2,
+            Phase::Pricing => 3,
+            Phase::Accounting => 4,
+            Phase::Dispatch => 5,
+            Phase::TraceGen => 6,
+            Phase::Report => 7,
+        }
+    }
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static NANOS: [AtomicU64; 8] = [const { AtomicU64::new(0) }; 8];
+static CALLS: [AtomicU64; 8] = [const { AtomicU64::new(0) }; 8];
+
+/// Turns the profiler on or off (process-global).
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether the profiler is currently collecting.
+#[inline(always)]
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Clears all accumulated phase totals.
+pub fn reset() {
+    for a in &NANOS {
+        a.store(0, Ordering::Relaxed);
+    }
+    for a in &CALLS {
+        a.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Starts timing `phase`, or returns `None` (for ~free) when the
+/// profiler is disabled. Bind the result to keep the timer alive for
+/// the span being measured:
+///
+/// ```
+/// # use alisa_obs::profile::{timer, Phase};
+/// let _p = timer(Phase::TopK);
+/// // ... hot code ...
+/// ```
+#[inline(always)]
+pub fn timer(phase: Phase) -> Option<PhaseTimer> {
+    if is_enabled() {
+        Some(PhaseTimer {
+            phase,
+            start: Instant::now(),
+        })
+    } else {
+        None
+    }
+}
+
+/// RAII guard crediting its phase with the elapsed wall time on drop.
+#[derive(Debug)]
+pub struct PhaseTimer {
+    phase: Phase,
+    start: Instant,
+}
+
+impl Drop for PhaseTimer {
+    #[inline]
+    fn drop(&mut self) {
+        let ns = self.start.elapsed().as_nanos() as u64;
+        let i = self.phase.index();
+        NANOS[i].fetch_add(ns, Ordering::Relaxed);
+        CALLS[i].fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// A snapshot of the accumulated phase totals against a measured
+/// wall-time denominator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileReport {
+    /// Total measured wall time of the profiled run, in nanoseconds.
+    pub wall_ns: u64,
+    /// Per-phase `(phase, nanoseconds, calls)` totals, in [`PHASES`]
+    /// order.
+    pub phases: Vec<(Phase, u64, u64)>,
+}
+
+impl ProfileReport {
+    /// Snapshots the global totals against `wall_ns` of measured run
+    /// time.
+    pub fn capture(wall_ns: u64) -> Self {
+        let phases = PHASES
+            .iter()
+            .map(|p| {
+                let i = p.index();
+                (
+                    *p,
+                    NANOS[i].load(Ordering::Relaxed),
+                    CALLS[i].load(Ordering::Relaxed),
+                )
+            })
+            .collect();
+        Self { wall_ns, phases }
+    }
+
+    /// Sum of all phase buckets, in nanoseconds.
+    pub fn bucket_ns(&self) -> u64 {
+        self.phases.iter().map(|(_, ns, _)| ns).sum()
+    }
+
+    /// Fraction of wall time the buckets explain (0 when `wall_ns`
+    /// is 0).
+    pub fn coverage(&self) -> f64 {
+        if self.wall_ns == 0 {
+            0.0
+        } else {
+            self.bucket_ns() as f64 / self.wall_ns as f64
+        }
+    }
+
+    /// The hottest phase by accumulated time.
+    pub fn top_phase(&self) -> &'static str {
+        self.phases
+            .iter()
+            .max_by_key(|(_, ns, _)| *ns)
+            .map(|(p, _, _)| p.name())
+            .unwrap_or("none")
+    }
+
+    /// Human-readable breakdown table (phases sorted hottest-first).
+    pub fn text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut rows: Vec<_> = self.phases.iter().filter(|(_, ns, _)| *ns > 0).collect();
+        rows.sort_by_key(|r| std::cmp::Reverse(r.1));
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "profile: wall {:.1} ms, buckets {:.1} ms ({:.1}% coverage), top phase {}",
+            self.wall_ns as f64 / 1e6,
+            self.bucket_ns() as f64 / 1e6,
+            self.coverage() * 100.0,
+            self.top_phase()
+        );
+        for (p, ns, calls) in rows {
+            let _ = writeln!(
+                out,
+                "  {:<20} {:>10.2} ms  {:>5.1}%  {:>10} calls",
+                p.name(),
+                *ns as f64 / 1e6,
+                *ns as f64 / self.wall_ns.max(1) as f64 * 100.0,
+                calls
+            );
+        }
+        out
+    }
+
+    /// Machine-readable form, the format committed as
+    /// `BENCH_profile.json`. Deterministic field order; phase totals
+    /// appear in [`PHASES`] order.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "{{\"wall_ns\":{},\"bucket_ns\":{},\"coverage\":{:.4},\"top_phase\":\"{}\",\"phases\":{{",
+            self.wall_ns,
+            self.bucket_ns(),
+            self.coverage(),
+            self.top_phase()
+        );
+        for (i, (p, ns, calls)) in self.phases.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "\"{}\":{{\"ns\":{ns},\"calls\":{calls}}}", p.name());
+        }
+        s.push_str("}}");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The profiler state is process-global, so the whole lifecycle
+    // lives in one test to avoid cross-test interference.
+    #[test]
+    fn profiler_lifecycle() {
+        // Disabled: timer hands out nothing and records nothing.
+        reset();
+        set_enabled(false);
+        assert!(timer(Phase::TopK).is_none());
+        let rep = ProfileReport::capture(1_000);
+        assert_eq!(rep.bucket_ns(), 0);
+        assert_eq!(rep.coverage(), 0.0);
+
+        // Enabled: a held timer credits its phase on drop.
+        set_enabled(true);
+        {
+            let _p = timer(Phase::Discipline);
+            std::hint::black_box(vec![0u8; 4096]);
+        }
+        set_enabled(false);
+        let rep = ProfileReport::capture(1_000_000_000);
+        let disc = rep
+            .phases
+            .iter()
+            .find(|(p, _, _)| *p == Phase::Discipline)
+            .unwrap();
+        assert!(disc.1 > 0, "elapsed nanos recorded");
+        assert_eq!(disc.2, 1, "one call recorded");
+        assert_eq!(rep.top_phase(), "discipline-ordering");
+        assert!(rep.text().contains("discipline-ordering"));
+        let json = rep.to_json();
+        let v = crate::json::parse(&json).unwrap();
+        assert!(v.get("wall_ns").is_some());
+        assert_eq!(
+            v.get("top_phase").unwrap().as_str(),
+            Some("discipline-ordering")
+        );
+        assert_eq!(
+            v.get("phases")
+                .unwrap()
+                .get("topk-selection")
+                .unwrap()
+                .get("calls")
+                .unwrap()
+                .as_u64(),
+            Some(0)
+        );
+
+        // Reset clears totals.
+        reset();
+        assert_eq!(ProfileReport::capture(1).bucket_ns(), 0);
+    }
+}

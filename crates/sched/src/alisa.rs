@@ -166,6 +166,7 @@ impl GlobalSetModel {
 
     /// The `k` global positions among `0..range_end` at step `j`.
     pub fn pick(&self, k: usize, range_end: usize, j: usize, seq_len: usize) -> Vec<usize> {
+        let _topk = alisa_obs::profile::timer(alisa_obs::profile::Phase::TopK);
         if k == 0 || range_end == 0 {
             return Vec::new();
         }

@@ -19,9 +19,11 @@
 
 use std::collections::VecDeque;
 
-use alisa_kvcache::SessionKvCache;
+use alisa_kvcache::{RetainedSession, SessionKvCache};
 use alisa_memsim::HardwareSpec;
 use alisa_model::ModelConfig;
+use alisa_obs::profile::{self, Phase};
+use alisa_obs::{Event, EventKind, MetricsRegistry, NullSink, TraceSink};
 use alisa_sched::common::{hash_unit, FP16};
 use alisa_sched::{SimBase, StepExecutor};
 use serde::{Deserialize, Serialize};
@@ -35,23 +37,55 @@ use crate::trace::Trace;
 /// Timeline samples kept before decimation halves the sampling rate.
 const TIMELINE_CAP: usize = 16384;
 
-/// Appends one step's sample to a timeline, deterministically halving
-/// the sampling rate once it grows past the cap. One implementation
-/// shared by [`ServeEngine::run`] and the multi-replica router, so
-/// per-replica timelines decimate exactly like single-engine ones.
-pub(crate) fn push_sample(
-    timeline: &mut Vec<ServeSample>,
-    sample_stride: &mut usize,
-    step_count: u64,
-    sample: ServeSample,
-) {
-    if step_count.is_multiple_of(*sample_stride as u64) {
-        timeline.push(sample);
-        if timeline.len() >= TIMELINE_CAP {
-            let kept: Vec<ServeSample> = timeline.iter().copied().step_by(2).collect();
-            *timeline = kept;
-            *sample_stride *= 2;
+/// A timeline recorder that deterministically halves its sampling rate
+/// once it grows past the cap, while always retaining the *first and
+/// last* sample (the Perfetto exporter and the SLO plots need both run
+/// boundaries). One implementation shared by [`ServeEngine::run`] and
+/// the multi-replica router, so per-replica timelines decimate exactly
+/// like single-engine ones. For runs that never reach the cap the
+/// output is identical to recording every step.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct TimelineRec {
+    samples: Vec<ServeSample>,
+    stride: usize,
+    tail_provisional: bool,
+}
+
+impl TimelineRec {
+    pub(crate) fn new() -> Self {
+        TimelineRec {
+            samples: Vec::new(),
+            stride: 1,
+            tail_provisional: false,
         }
+    }
+
+    pub(crate) fn push(&mut self, step_count: u64, sample: ServeSample) {
+        if self.tail_provisional {
+            self.samples.pop();
+            self.tail_provisional = false;
+        }
+        if step_count.is_multiple_of(self.stride as u64) {
+            self.samples.push(sample);
+            if self.samples.len() >= TIMELINE_CAP {
+                let kept: Vec<ServeSample> = self.samples.iter().copied().step_by(2).collect();
+                self.samples = kept;
+                self.stride *= 2;
+            }
+        } else {
+            // Off-stride: kept provisionally, replaced by the next push
+            // — so whichever sample is last always survives.
+            self.samples.push(sample);
+            self.tail_provisional = true;
+        }
+    }
+
+    pub(crate) fn samples(&self) -> &[ServeSample] {
+        &self.samples
+    }
+
+    pub(crate) fn into_samples(self) -> Vec<ServeSample> {
+        self.samples
     }
 }
 
@@ -402,7 +436,9 @@ impl ServeEngine {
     /// every retained cache evicted (the caller breaks, preserving
     /// FCFS). One implementation shared by [`ServeEngine::run`] and
     /// the multi-replica router, so the reuse decision cannot drift
-    /// between them.
+    /// between them. Retained caches evicted to make room are appended
+    /// to `evicted` so callers can surface them as trace events.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn admit_with_reuse(
         &self,
         req: &mut Request,
@@ -411,6 +447,7 @@ impl ServeEngine {
         reserved: u64,
         budget: u64,
         session_kv: &mut Option<SessionKvCache>,
+        evicted: &mut Vec<RetainedSession>,
     ) -> Option<(u64, PrefillJob)> {
         // A preempted request re-prefills the whole context it had
         // built (prompt + kept progress) and owes only its remaining
@@ -442,7 +479,7 @@ impl ServeEngine {
             // about to be consumed by this very request, so it is
             // spared and does not count against the headroom.
             let keep = req.session.filter(|_| reuse_len > 0).map(|s| s.session_id);
-            kv.evict_until(budget - reserved - res, keep);
+            evicted.extend(kv.evict_until(budget - reserved - res, keep));
         }
         if reuse_len > 0 {
             let sref = req.session.expect("hit implies a session");
@@ -574,21 +611,26 @@ impl ServeEngine {
     /// turn (when the trace has one), priced through the same
     /// policy/precision path as live reservations and capped by both
     /// the retention budget and `headroom` (the replica-wide budget
-    /// minus live reservations). Shared by engine and router.
+    /// minus live reservations). Shared by engine and router. Returns
+    /// the stored `(session_id, seq_len, bytes)` when the retain
+    /// landed, so callers can surface it as a `retention-store` event.
     pub(crate) fn retain_finished(
         &self,
         req: &Request,
         has_next_turn: bool,
         headroom: u64,
         session_kv: &mut Option<SessionKvCache>,
-    ) {
+    ) -> Option<(usize, usize, u64)> {
         if let (Some(kv), Some(sref)) = (session_kv.as_mut(), req.session) {
             if has_next_turn {
                 let final_len = req.final_seq_len();
                 let bytes = self.cfg.policy.gpu_kv_bytes(&self.cfg.model, final_len);
-                kv.retain(sref.session_id, final_len, bytes, headroom);
+                if kv.retain(sref.session_id, final_len, bytes, headroom) {
+                    return Some((sref.session_id, final_len, bytes));
+                }
             }
         }
+        None
     }
 
     /// Total GPU bytes available to request reservations.
@@ -601,9 +643,46 @@ impl ServeEngine {
     /// Replays `trace` and returns the aggregate report. Deterministic:
     /// the same config and trace produce a byte-identical report.
     pub fn run(&self, trace: &Trace) -> ServeReport {
+        self.run_traced(trace, &mut NullSink)
+    }
+
+    /// [`ServeEngine::run`] with structured event tracing: every
+    /// lifecycle decision — arrival, admission with its full
+    /// KV-pricing breakdown, rejection and preemption with a
+    /// decision trace naming the losing comparison, session-retention
+    /// hit/miss/store/evict, precision transcodes, step boundaries,
+    /// completions — is emitted into `sink`, and the report gains the
+    /// opt-in metrics section. Event timestamps are simulation-clock
+    /// only, so same-seed traces are byte-identical. With a disabled
+    /// sink ([`NullSink`]) no event is even constructed and the report
+    /// is byte-identical to [`ServeEngine::run`].
+    pub fn run_traced(&self, trace: &Trace, sink: &mut dyn TraceSink) -> ServeReport {
+        // Monomorphize on the tracing decision: the untraced instance
+        // compiles every emission block out of the hot loop entirely,
+        // so `run()` pays nothing for the observability layer.
+        if sink.enabled() {
+            self.run_inner::<true>(trace, sink)
+        } else {
+            self.run_inner::<false>(trace, sink)
+        }
+    }
+
+    fn run_inner<const TRACED: bool>(
+        &self,
+        trace: &Trace,
+        sink: &mut dyn TraceSink,
+    ) -> ServeReport {
         let cfg = &self.cfg;
         let model = &cfg.model;
         let budget = self.kv_budget();
+        let mut reg = MetricsRegistry::new();
+        macro_rules! emit {
+            ($ev:expr) => {{
+                let ev: Event = $ev;
+                reg.record(&ev);
+                sink.emit(&ev);
+            }};
+        }
 
         let mut requests: Vec<Request> = trace
             .entries()
@@ -651,8 +730,8 @@ impl ServeEngine {
         let mut waiting_since: Vec<f64> = requests.iter().map(|r| r.arrival).collect();
         let discipline = cfg.discipline;
         let mut t = 0.0f64;
-        let mut timeline: Vec<ServeSample> = Vec::new();
-        let mut sample_stride = 1usize;
+        let mut timeline = TimelineRec::new();
+        let mut evicted_scratch: Vec<RetainedSession> = Vec::new();
         let mut step_count = 0u64;
         let mut batch_sum = 0u64;
         // Exact extrema, tracked every step — the timeline decimates
@@ -672,10 +751,23 @@ impl ServeEngine {
         };
 
         loop {
+            let _scan = profile::timer(Phase::EventScan);
             // ---- 1. Pump due arrivals into the queue.
             if clients == 0 {
                 while next_open_arrival < n && requests[next_open_arrival].arrival <= t {
-                    queue.push_back(next_open_arrival);
+                    let id = next_open_arrival;
+                    if TRACED {
+                        emit!(Event {
+                            t: requests[id].arrival,
+                            replica: None,
+                            request: Some(id),
+                            kind: EventKind::Arrival {
+                                prompt_len: requests[id].prompt_len,
+                                output_len: requests[id].output_len,
+                            },
+                        });
+                    }
+                    queue.push_back(id);
                     next_open_arrival += 1;
                 }
             } else {
@@ -690,6 +782,17 @@ impl ServeEngine {
                             waiting_since[id] = at;
                             client_entries[c].pop_front();
                             client_outstanding[c] = true;
+                            if TRACED {
+                                emit!(Event {
+                                    t: at,
+                                    replica: None,
+                                    request: Some(id),
+                                    kind: EventKind::Arrival {
+                                        prompt_len: requests[id].prompt_len,
+                                        output_len: requests[id].output_len,
+                                    },
+                                });
+                            }
                             queue.push_back(id);
                         }
                     }
@@ -710,13 +813,42 @@ impl ServeEngine {
                 let reason = if res_bytes[id] > budget {
                     Some(RejectReason::Infeasible)
                 } else if t - req.arrival > cfg.queue_timeout_s {
-                    Some(RejectReason::QueueTimeout)
+                    Some(RejectReason::QueueTimeout {
+                        waited_s: t - req.arrival,
+                        discipline: discipline.name(),
+                    })
                 } else {
                     None
                 };
                 if let Some(reason) = reason {
                     req.state = RequestState::Rejected;
                     req.reject_reason = Some(reason);
+                    if TRACED {
+                        let decision_trace = match reason {
+                            RejectReason::Infeasible => format!(
+                                "reservation {} B > budget {budget} B under {}: can never fit",
+                                res_bytes[id],
+                                cfg.policy.name()
+                            ),
+                            RejectReason::QueueTimeout {
+                                waited_s,
+                                discipline,
+                            } => format!(
+                                "waited {waited_s:.3}s > timeout {:.3}s in {discipline} scan",
+                                cfg.queue_timeout_s
+                            ),
+                        };
+                        emit!(Event {
+                            t,
+                            replica: None,
+                            request: Some(id),
+                            kind: EventKind::Rejected {
+                                reason: reason.label().to_string(),
+                                queue_wait_s: t - req.arrival,
+                                decision_trace,
+                            },
+                        });
+                    }
                     release(req, t, &mut client_ready, &mut client_outstanding);
                     false
                 } else {
@@ -728,6 +860,7 @@ impl ServeEngine {
             // hopeless entries dropped, but admission has not yet
             // drained the queue.
             peak_queue_depth = peak_queue_depth.max(queue.len());
+            drop(_scan);
 
             // ---- 3. Admit per the queue discipline under the KV
             // budget and batch cap. FCFS walks the queue head-first and
@@ -741,6 +874,7 @@ impl ServeEngine {
             // request and the budget.
             let mut newly: Vec<usize> = Vec::new();
             let mut new_jobs: Vec<PrefillJob> = Vec::new();
+            let _order = profile::timer(Phase::Discipline);
             loop {
                 if running.len() + newly.len() >= cfg.max_batch {
                     break;
@@ -764,6 +898,7 @@ impl ServeEngine {
                     prefix_lens[id]
                 };
                 let dres = default_res(id);
+                evicted_scratch.clear();
                 if let Some((res, job)) = self.admit_with_reuse(
                     &mut requests[id],
                     prefix,
@@ -771,6 +906,7 @@ impl ServeEngine {
                     reserved,
                     budget,
                     &mut session_kv,
+                    &mut evicted_scratch,
                 ) {
                     queue.remove(pos);
                     res_live[id] = res;
@@ -780,6 +916,78 @@ impl ServeEngine {
                         req.admitted_at = Some(t);
                     }
                     req.state = RequestState::Prefilling;
+                    if TRACED {
+                        let session = req.session;
+                        for evd in &evicted_scratch {
+                            emit!(Event {
+                                t,
+                                replica: None,
+                                request: None,
+                                kind: EventKind::RetentionEvict {
+                                    session: evd.session_id as u64,
+                                    seq_len: evd.seq_len,
+                                    bytes: evd.bytes,
+                                },
+                            });
+                        }
+                        if job.reused_prefix > 0 {
+                            if let Some(sref) = session {
+                                emit!(Event {
+                                    t,
+                                    replica: None,
+                                    request: Some(id),
+                                    kind: EventKind::RetentionHit {
+                                        session: sref.session_id as u64,
+                                        reused_tokens: job.reused_prefix,
+                                    },
+                                });
+                            }
+                            // The reused prefix re-enters the live batch
+                            // through the GPU cache region; when that
+                            // region is quantized the bytes move through
+                            // a transcode pass.
+                            let fp16 = cfg.policy.kv_working_set_fp16(model, job.reused_prefix);
+                            let stored = cfg.policy.precision().gpu_bytes(fp16);
+                            if stored != fp16 {
+                                emit!(Event {
+                                    t,
+                                    replica: None,
+                                    request: Some(id),
+                                    kind: EventKind::Transcode {
+                                        region: "gpu".to_string(),
+                                        fp16_bytes: fp16,
+                                        stored_bytes: stored,
+                                    },
+                                });
+                            }
+                        } else if prefix > 0 && session_kv.is_some() {
+                            if let Some(sref) = session {
+                                emit!(Event {
+                                    t,
+                                    replica: None,
+                                    request: Some(id),
+                                    kind: EventKind::RetentionMiss {
+                                        session: sref.session_id as u64,
+                                    },
+                                });
+                            }
+                        }
+                        let act = model.activation_bytes_per_seq(FP16) * job.new_tokens() as u64;
+                        emit!(Event {
+                            t,
+                            replica: None,
+                            request: Some(id),
+                            kind: EventKind::Admitted {
+                                reservation_bytes: res,
+                                kv_bytes: res.saturating_sub(act),
+                                activation_bytes: act,
+                                reserved_after: reserved,
+                                budget,
+                                reused_prefix: job.reused_prefix,
+                                queue_wait_s: t - waiting_since[id],
+                            },
+                        });
+                    }
                     new_jobs.push(job);
                     newly.push(id);
                     continue;
@@ -796,6 +1004,24 @@ impl ServeEngine {
                         self.pick_victim(&running, &requests, &res_live, dres, reserved, budget)
                     {
                         let vid = running.remove(vpos);
+                        if TRACED {
+                            let cost = self.restart_cost(&requests[vid]);
+                            let decision_trace = format!(
+                                "candidate {id} (res {dres} B) outwaited patience; victim {vid} \
+                                 books {} B > {dres} B and is cheapest to restart ({cost:.4}s)",
+                                res_live[vid]
+                            );
+                            emit!(Event {
+                                t,
+                                replica: None,
+                                request: Some(vid),
+                                kind: EventKind::Preempted {
+                                    victim_of: id,
+                                    restart_cost_s: cost,
+                                    decision_trace,
+                                },
+                            });
+                        }
                         self.preempt_victim(
                             vid,
                             res_live[vid],
@@ -812,9 +1038,11 @@ impl ServeEngine {
                 }
                 break;
             }
+            drop(_order);
 
             // ---- 4. Idle? Jump the clock to the next arrival.
             if newly.is_empty() && running.is_empty() {
+                let _idle = profile::timer(Phase::EventScan);
                 let mut next_event = f64::INFINITY;
                 if clients == 0 {
                     if next_open_arrival < n {
@@ -845,14 +1073,33 @@ impl ServeEngine {
             // [`ServeEngine::step_time`] (shared with the router).
             let running_lens: Vec<usize> =
                 running.iter().map(|&id| requests[id].seq_len()).collect();
-            let step_time = self.step_time_sessions(&new_jobs, &running_lens);
+            let step_time = {
+                let _price = profile::timer(Phase::Pricing);
+                self.step_time_sessions(&new_jobs, &running_lens)
+            };
             let batch = running.len() + newly.len();
+            let step_started = t;
             t += step_time;
             step_count += 1;
             batch_sum += batch as u64;
             peak_kv_bytes = peak_kv_bytes.max(reserved);
 
             // ---- 6. Account tokens and completions.
+            let _acct = profile::timer(Phase::Accounting);
+            if TRACED {
+                emit!(Event {
+                    t: step_started,
+                    replica: None,
+                    request: None,
+                    kind: EventKind::Step {
+                        dur_s: step_time,
+                        prefills: newly.len(),
+                        decodes: running_lens.len(),
+                        kv_reserved: reserved,
+                        queue_depth: queue.len(),
+                    },
+                });
+            }
             for &id in &running {
                 requests[id].generated += 1;
             }
@@ -875,13 +1122,40 @@ impl ServeEngine {
                     let req = &mut requests[id];
                     req.finished_at = Some(t);
                     req.state = RequestState::Finished;
+                    if TRACED {
+                        let generated = req.generated;
+                        let e2e = t - req.arrival;
+                        emit!(Event {
+                            t,
+                            replica: None,
+                            request: Some(id),
+                            kind: EventKind::Finished {
+                                generated,
+                                e2e_s: e2e,
+                            },
+                        });
+                    }
                     release(req, t, &mut client_ready, &mut client_outstanding);
-                    self.retain_finished(
+                    let stored = self.retain_finished(
                         &requests[id],
                         next_turn[id],
                         budget - reserved,
                         &mut session_kv,
                     );
+                    if TRACED {
+                        if let Some((sid, seq, bytes)) = stored {
+                            emit!(Event {
+                                t,
+                                replica: None,
+                                request: Some(id),
+                                kind: EventKind::RetentionStore {
+                                    session: sid as u64,
+                                    seq_len: seq,
+                                    bytes,
+                                },
+                            });
+                        }
+                    }
                 } else {
                     still_running.push(id);
                 }
@@ -889,10 +1163,9 @@ impl ServeEngine {
             running = still_running;
 
             // ---- 7. Sample the timeline (decimating deterministically
-            // once it grows past the cap).
-            push_sample(
-                &mut timeline,
-                &mut sample_stride,
+            // once it grows past the cap; the recorder keeps the first
+            // and last sample either way).
+            timeline.push(
                 step_count,
                 ServeSample {
                     t,
@@ -908,7 +1181,7 @@ impl ServeEngine {
         } else {
             batch_sum as f64 / step_count as f64
         };
-        ServeReport::from_requests(
+        let mut report = ServeReport::from_requests(
             cfg.policy.name().to_string(),
             model.name.clone(),
             cfg.hardware.to_string(),
@@ -916,12 +1189,16 @@ impl ServeEngine {
             cfg.slo,
             t,
             mean_batch,
-            timeline,
+            timeline.into_samples(),
             peak_queue_depth,
             peak_kv_bytes,
             session_kv.map(|kv| kv.stats()),
             (!discipline.is_fcfs()).then(|| discipline.name().to_string()),
-        )
+        );
+        if TRACED {
+            report.metrics = Some(reg.canonical_text());
+        }
+        report
     }
 }
 
@@ -942,6 +1219,48 @@ mod tests {
 
     fn v100_config(policy: AdmissionPolicy) -> ServeConfig {
         ServeConfig::new(ModelConfig::opt_6_7b(), HardwareSpec::v100_16gb(), policy)
+    }
+
+    /// Timeline decimation keeps the run boundaries: past the cap the
+    /// recorder halves its rate but the first AND last pushed sample
+    /// always survive, and an under-cap recording is untouched.
+    #[test]
+    fn timeline_decimation_retains_first_and_last_sample() {
+        let sample = |i: u64| ServeSample {
+            t: i as f64,
+            queue_depth: i as usize,
+            running: 1,
+            kv_bytes: i,
+        };
+        // Under the cap: identical to recording every step.
+        let mut rec = TimelineRec::new();
+        for i in 1..=100u64 {
+            rec.push(i, sample(i));
+        }
+        let all: Vec<ServeSample> = (1..=100).map(sample).collect();
+        assert_eq!(rec.samples(), &all[..], "under-cap recording is lossless");
+
+        // Well past the cap (several halvings, ending off-stride).
+        let last = 3 * TIMELINE_CAP as u64 + 1;
+        let mut rec = TimelineRec::new();
+        for i in 1..=last {
+            rec.push(i, sample(i));
+        }
+        let kept = rec.samples();
+        assert!(
+            kept.len() <= TIMELINE_CAP,
+            "decimation must bound the timeline: {} > {TIMELINE_CAP}",
+            kept.len()
+        );
+        assert_eq!(kept.first(), Some(&sample(1)), "first sample survives");
+        assert_eq!(
+            kept.last(),
+            Some(&sample(last)),
+            "last sample survives even off-stride"
+        );
+        for w in kept.windows(2) {
+            assert!(w[0].t < w[1].t, "decimated timeline stays ordered");
+        }
     }
 
     #[test]

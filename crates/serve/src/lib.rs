@@ -38,6 +38,15 @@
 //!   queue/KV timelines in a [`ServeReport`] (the online counterpart of
 //!   `alisa_sched::RunReport`).
 //!
+//! Every simulation is also observable: [`ServeEngine::run_traced`] and
+//! [`Router::run_traced`] emit structured [`alisa_obs`] events (one per
+//! lifecycle decision, with admission pricing breakdowns and rejection/
+//! preemption decision traces) into any [`TraceSink`] — a JSONL file, an
+//! in-memory buffer, or the Chrome-trace exporter — and attach a
+//! [`MetricsRegistry`] dump to the report. The default [`NullSink`]
+//! path constructs no events and leaves reports byte-identical, so
+//! tracing is strictly opt-in. See `docs/OBSERVABILITY.md`.
+//!
 //! # Example
 //!
 //! ```
@@ -75,6 +84,9 @@ pub mod trace;
 
 pub use admission::AdmissionPolicy;
 pub use alisa_kvcache::{ReuseStats, SessionKvCache};
+pub use alisa_obs::{
+    Event, EventKind, JsonlSink, MemorySink, MetricsRegistry, NullSink, TraceSink,
+};
 pub use arrivals::ArrivalProcess;
 pub use discipline::{DisciplineStats, QueueDiscipline};
 pub use engine::{derived_slo, ClosedLoopCfg, PrefillJob, RetentionCfg, ServeConfig, ServeEngine};

@@ -37,13 +37,48 @@ pub enum RequestState {
 }
 
 /// Why a request was rejected.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum RejectReason {
     /// Its KV footprint can never fit the device budget under the
     /// active admission policy.
     Infeasible,
-    /// It waited in the queue longer than the configured timeout.
-    QueueTimeout,
+    /// It waited in the queue longer than the configured timeout. The
+    /// payload records *which* discipline scan rejected it and how
+    /// long it had waited, so the terminal state agrees exactly with
+    /// the decision-trace event emitted at rejection time.
+    QueueTimeout {
+        /// Seconds spent in queue when the timeout scan fired.
+        waited_s: f64,
+        /// Name of the queue discipline whose scan rejected it.
+        discipline: &'static str,
+    },
+}
+
+impl RejectReason {
+    /// Stable label for traces and metrics (`infeasible` /
+    /// `queue-timeout`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            RejectReason::Infeasible => "infeasible",
+            RejectReason::QueueTimeout { .. } => "queue-timeout",
+        }
+    }
+
+    /// Whether this is a queue-timeout rejection.
+    pub fn is_timeout(&self) -> bool {
+        matches!(self, RejectReason::QueueTimeout { .. })
+    }
+
+    /// Human-readable detail, suitable for a decision trace.
+    pub fn detail(&self) -> String {
+        match self {
+            RejectReason::Infeasible => "footprint exceeds device budget".to_string(),
+            RejectReason::QueueTimeout {
+                waited_s,
+                discipline,
+            } => format!("waited {waited_s:.3}s; rejected by {discipline} scan"),
+        }
+    }
 }
 
 /// One in-flight (or completed) serving request.

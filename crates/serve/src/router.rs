@@ -60,14 +60,32 @@
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, VecDeque};
 
-use alisa_kvcache::{ReuseStats, SessionKvCache};
+use alisa_kvcache::{RetainedSession, ReuseStats, SessionKvCache};
+use alisa_obs::profile::{self, Phase};
+use alisa_obs::{Event, EventKind, MetricsRegistry, NullSink, TraceSink};
 use alisa_sched::common::mix64;
 use serde::{Deserialize, Serialize};
 
-use crate::engine::{push_sample, PrefillJob, ServeConfig, ServeEngine};
+use crate::engine::{PrefillJob, ServeConfig, ServeEngine, TimelineRec};
 use crate::metrics::{ServeReport, ServeSample};
 use crate::request::{RejectReason, Request, RequestState};
 use crate::trace::Trace;
+
+/// Tracing context threaded through the router's dispatch and step
+/// paths: the sink, the metrics registry accumulating alongside it, and
+/// the cached enabled flag so the untraced path pays one branch per
+/// emission site and never constructs an event.
+struct ObsCtx<'a> {
+    sink: &'a mut dyn TraceSink,
+    reg: MetricsRegistry,
+}
+
+impl ObsCtx<'_> {
+    fn emit(&mut self, ev: Event) {
+        self.reg.record(&ev);
+        self.sink.emit(&ev);
+    }
+}
 
 /// How the router distributes incoming requests across replicas.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -304,8 +322,7 @@ struct ReplicaState {
     batch_sum: u64,
     peak_queue_depth: usize,
     peak_kv_bytes: u64,
-    timeline: Vec<ServeSample>,
-    sample_stride: usize,
+    timeline: TimelineRec,
     /// Replica-local retained session caches (prefix reuse), present
     /// when the replica's config enables retention.
     session_kv: Option<SessionKvCache>,
@@ -326,8 +343,7 @@ impl ReplicaState {
             batch_sum: 0,
             peak_queue_depth: 0,
             peak_kv_bytes: 0,
-            timeline: Vec::new(),
-            sample_stride: 1,
+            timeline: TimelineRec::new(),
             session_kv: engine
                 .config()
                 .retention
@@ -431,6 +447,36 @@ impl Router {
     /// Deterministic: the same config and trace produce a
     /// byte-identical [`RouterReport`].
     pub fn run(&self, trace: &Trace) -> RouterReport {
+        self.run_traced(trace, &mut NullSink)
+    }
+
+    /// [`Router::run`] with structured event tracing: everything the
+    /// single engine emits (per replica, with the replica coordinate
+    /// set), plus the router's own decisions — load-balance dispatch,
+    /// cross-replica re-queue, and prefill→decode KV handoffs. The
+    /// fleet report gains the opt-in metrics section, accumulated
+    /// router-wide. With a disabled sink ([`NullSink`]) no event is
+    /// constructed and the report is byte-identical to [`Router::run`].
+    pub fn run_traced(&self, trace: &Trace, sink: &mut dyn TraceSink) -> RouterReport {
+        // Monomorphize on the tracing decision, like
+        // `ServeEngine::run_traced`: the untraced instance compiles
+        // every emission block out of the dispatch/step hot paths.
+        if sink.enabled() {
+            self.run_inner::<true>(trace, sink)
+        } else {
+            self.run_inner::<false>(trace, sink)
+        }
+    }
+
+    fn run_inner<const TRACED: bool>(
+        &self,
+        trace: &Trace,
+        sink: &mut dyn TraceSink,
+    ) -> RouterReport {
+        let mut obs = ObsCtx {
+            sink,
+            reg: MetricsRegistry::new(),
+        };
         let n_replicas = self.engines.len();
         let disagg = self.cfg.disagg;
         let prefill_count = disagg.map_or(0, |d| d.prefill_replicas);
@@ -496,11 +542,23 @@ impl Router {
                 .fold(f64::INFINITY, f64::min);
             if let Some(top) = heap.peek() {
                 if top.t <= busy_min {
+                    let _route = profile::timer(Phase::Dispatch);
                     let ev = heap.pop().expect("peeked");
                     last_event_t = last_event_t.max(ev.t);
                     match ev.kind {
                         EvKind::Arrival(id) => {
-                            self.dispatch(
+                            if TRACED {
+                                obs.emit(Event {
+                                    t: ev.t,
+                                    replica: None,
+                                    request: Some(id),
+                                    kind: EventKind::Arrival {
+                                        prompt_len: requests[id].prompt_len,
+                                        output_len: requests[id].output_len,
+                                    },
+                                });
+                            }
+                            self.dispatch::<TRACED>(
                                 id,
                                 ev.t,
                                 &arrival_tier,
@@ -512,10 +570,11 @@ impl Router {
                                 &mut res_bytes,
                                 &mut queued_since,
                                 &mut rr_arrival,
+                                &mut obs,
                             );
                         }
                         EvKind::Requeue { id, from } => {
-                            self.dispatch(
+                            self.dispatch::<TRACED>(
                                 id,
                                 ev.t,
                                 &arrival_tier,
@@ -527,6 +586,7 @@ impl Router {
                                 &mut res_bytes,
                                 &mut queued_since,
                                 &mut rr_arrival,
+                                &mut obs,
                             );
                         }
                         EvKind::Handoff(id) => {
@@ -552,6 +612,26 @@ impl Router {
                             let target = self.pick(&feasible, &states, key, &mut rr_handoff);
                             res_bytes[id] = self.engines[target]
                                 .decode_reservation_bytes(req.prompt_len, req.output_len);
+                            if TRACED {
+                                // The transfer was priced on the prefill
+                                // side when the handoff was scheduled;
+                                // the sequence length has not moved in
+                                // transit, so recomputing here yields
+                                // the exact same bytes and latency.
+                                let from = owner[id].expect("handoff implies a prefill owner");
+                                let seq = requests[id].seq_len();
+                                obs.emit(Event {
+                                    t: ev.t,
+                                    replica: Some(target),
+                                    request: Some(id),
+                                    kind: EventKind::Handoff {
+                                        from,
+                                        to: target,
+                                        bytes: self.engines[from].kv_handoff_bytes(seq),
+                                        transfer_s: self.engines[from].kv_handoff_time(seq),
+                                    },
+                                });
+                            }
                             owner[id] = Some(target);
                             queued_since[id] = ev.t;
                             states[target].enqueue(id, ev.t);
@@ -569,7 +649,7 @@ impl Router {
             for i in 0..n_replicas {
                 if states[i].busy() && states[i].t < limit {
                     progressed = true;
-                    self.step_once(
+                    self.step_once::<TRACED>(
                         i,
                         &mut states,
                         &mut requests,
@@ -582,6 +662,7 @@ impl Router {
                         &mut handoffs_total,
                         &mut heap,
                         &mut seq,
+                        &mut obs,
                     );
                 }
             }
@@ -593,7 +674,7 @@ impl Router {
             }
         }
 
-        self.build_report(
+        let mut report = self.build_report(
             &requests,
             &states,
             &owner,
@@ -601,7 +682,11 @@ impl Router {
             requeued_total,
             handoffs_total,
             last_event_t,
-        )
+        );
+        if TRACED {
+            report.fleet.metrics = Some(obs.reg.canonical_text());
+        }
+        report
     }
 
     /// Picks a replica from `tier` per the load-balancing policy.
@@ -642,7 +727,7 @@ impl Router {
     /// bouncing replica excluded) to a replica, or rejects it as
     /// infeasible if no eligible replica can ever hold it.
     #[allow(clippy::too_many_arguments)]
-    fn dispatch(
+    fn dispatch<const TRACED: bool>(
         &self,
         id: usize,
         at: f64,
@@ -655,13 +740,26 @@ impl Router {
         res_bytes: &mut [u64],
         queued_since: &mut [f64],
         rr: &mut usize,
+        obs: &mut ObsCtx<'_>,
     ) -> bool {
         let req_prompt = requests[id].prompt_len;
         let req_output = requests[id].output_len;
-        let reject = |requests: &mut [Request]| {
+        let reject = |requests: &mut [Request], obs: &mut ObsCtx<'_>, why: &dyn Fn() -> String| {
             let req = &mut requests[id];
             req.state = RequestState::Rejected;
             req.reject_reason = Some(RejectReason::Infeasible);
+            if TRACED {
+                obs.emit(Event {
+                    t: at,
+                    replica: None,
+                    request: Some(id),
+                    kind: EventKind::Rejected {
+                        reason: "infeasible".to_string(),
+                        queue_wait_s: at - req.arrival,
+                        decision_trace: why(),
+                    },
+                });
+            }
         };
 
         // Under disaggregation a prompt must also have a decode home:
@@ -673,7 +771,12 @@ impl Router {
                 self.engines[i].decode_reservation_bytes(req_prompt, req_output) <= states[i].budget
             });
             if !decodable {
-                reject(requests);
+                reject(requests, obs, &|| {
+                    format!(
+                        "no decode replica can ever hold the decode working set of \
+                         prompt {req_prompt} + output {req_output}: would strand mid-flight"
+                    )
+                });
                 return false;
             }
         }
@@ -684,7 +787,9 @@ impl Router {
             .filter(|&i| Some(i) != exclude)
             .collect();
         if eligible.is_empty() {
-            reject(requests);
+            reject(requests, obs, &|| {
+                format!("no eligible replica left (bouncer {exclude:?} excluded)")
+            });
             return false;
         }
         let key = requests[id].session.map_or(id, |s| s.session_id);
@@ -707,10 +812,29 @@ impl Router {
                 owner[id] = Some(i);
                 queued_since[id] = at;
                 states[i].enqueue(id, at);
+                if TRACED {
+                    obs.emit(Event {
+                        t: at,
+                        replica: Some(i),
+                        request: Some(id),
+                        kind: EventKind::Dispatch {
+                            target: i,
+                            lb: self.cfg.lb.name().to_string(),
+                        },
+                    });
+                }
                 true
             }
             None => {
-                reject(requests);
+                reject(requests, obs, &|| {
+                    format!(
+                        "reservation {} B > replica {first}'s budget {} B under {} \
+                         dispatch: can never fit there",
+                        self.engines[first].reservation_bytes(req_prompt, req_output),
+                        states[first].budget,
+                        self.cfg.lb.name()
+                    )
+                });
                 false
             }
         }
@@ -721,7 +845,7 @@ impl Router {
     /// accounting, completion/handoff handling, and timeline sampling —
     /// the same sequence as [`ServeEngine::run`].
     #[allow(clippy::too_many_arguments)]
-    fn step_once(
+    fn step_once<const TRACED: bool>(
         &self,
         i: usize,
         states: &mut [ReplicaState],
@@ -735,6 +859,7 @@ impl Router {
         handoffs_total: &mut usize,
         heap: &mut BinaryHeap<Ev>,
         seq: &mut u64,
+        obs: &mut ObsCtx<'_>,
     ) {
         let engine = &self.engines[i];
         let cfg = engine.config();
@@ -745,6 +870,7 @@ impl Router {
         // ---- 1. Bounce timed-out queued requests. Handed-off requests
         // (first token already emitted on the prefill tier) are exempt:
         // they are in service, not waiting for it.
+        let _scan = profile::timer(Phase::EventScan);
         let mut bounced: Vec<usize> = Vec::new();
         state.queue.retain(|&id| {
             if requests[id].first_token_at.is_some() {
@@ -755,9 +881,29 @@ impl Router {
                     was_requeued[id] = true;
                     bounced.push(id);
                 } else {
+                    let waited_s = t - queued_since[id];
                     let req = &mut requests[id];
                     req.state = RequestState::Rejected;
-                    req.reject_reason = Some(RejectReason::QueueTimeout);
+                    req.reject_reason = Some(RejectReason::QueueTimeout {
+                        waited_s,
+                        discipline: cfg.discipline.name(),
+                    });
+                    if TRACED {
+                        obs.emit(Event {
+                            t,
+                            replica: Some(i),
+                            request: Some(id),
+                            kind: EventKind::Rejected {
+                                reason: "queue-timeout".to_string(),
+                                queue_wait_s: waited_s,
+                                decision_trace: format!(
+                                    "waited {waited_s:.3}s > timeout {:.3}s in {} scan",
+                                    cfg.queue_timeout_s,
+                                    cfg.discipline.name()
+                                ),
+                            },
+                        });
+                    }
                 }
                 false
             } else {
@@ -766,6 +912,14 @@ impl Router {
         });
         for id in bounced {
             *requeued_total += 1;
+            if TRACED {
+                obs.emit(Event {
+                    t,
+                    replica: Some(i),
+                    request: Some(id),
+                    kind: EventKind::Requeue { from: i },
+                });
+            }
             heap.push(Ev {
                 t,
                 seq: *seq,
@@ -774,6 +928,7 @@ impl Router {
             *seq += 1;
         }
         state.peak_queue_depth = state.peak_queue_depth.max(state.queue.len());
+        drop(_scan);
 
         // ---- 2. Admit per the replica's queue discipline under the KV
         // budget and batch cap (FCFS reproduces the legacy loop
@@ -791,6 +946,8 @@ impl Router {
         let mut newly: Vec<usize> = Vec::new();
         let mut new_jobs: Vec<PrefillJob> = Vec::new();
         let mut ingests: Vec<usize> = Vec::new();
+        let mut evicted_scratch: Vec<RetainedSession> = Vec::new();
+        let _order = profile::timer(Phase::Discipline);
         loop {
             if state.running.len() + newly.len() + ingests.len() >= cfg.max_batch {
                 break;
@@ -824,6 +981,7 @@ impl Router {
                 prefix_lens[id]
             };
             let dres = default_res(id);
+            evicted_scratch.clear();
             if let Some((res, job)) = engine.admit_with_reuse(
                 &mut requests[id],
                 prefix,
@@ -831,6 +989,7 @@ impl Router {
                 state.reserved,
                 state.budget,
                 &mut state.session_kv,
+                &mut evicted_scratch,
             ) {
                 state.queue.remove(pos);
                 res_bytes[id] = res;
@@ -846,6 +1005,83 @@ impl Router {
                     req.state = RequestState::Prefilling;
                     new_jobs.push(job);
                     newly.push(id);
+                }
+                if TRACED {
+                    let session = requests[id].session;
+                    for evd in &evicted_scratch {
+                        obs.emit(Event {
+                            t,
+                            replica: Some(i),
+                            request: None,
+                            kind: EventKind::RetentionEvict {
+                                session: evd.session_id as u64,
+                                seq_len: evd.seq_len,
+                                bytes: evd.bytes,
+                            },
+                        });
+                    }
+                    if job.reused_prefix > 0 {
+                        if let Some(sref) = session {
+                            obs.emit(Event {
+                                t,
+                                replica: Some(i),
+                                request: Some(id),
+                                kind: EventKind::RetentionHit {
+                                    session: sref.session_id as u64,
+                                    reused_tokens: job.reused_prefix,
+                                },
+                            });
+                        }
+                        let fp16 = cfg
+                            .policy
+                            .kv_working_set_fp16(&cfg.model, job.reused_prefix);
+                        let stored = cfg.policy.precision().gpu_bytes(fp16);
+                        if stored != fp16 {
+                            obs.emit(Event {
+                                t,
+                                replica: Some(i),
+                                request: Some(id),
+                                kind: EventKind::Transcode {
+                                    region: "gpu".to_string(),
+                                    fp16_bytes: fp16,
+                                    stored_bytes: stored,
+                                },
+                            });
+                        }
+                    } else if prefix > 0 && state.session_kv.is_some() {
+                        if let Some(sref) = session {
+                            obs.emit(Event {
+                                t,
+                                replica: Some(i),
+                                request: Some(id),
+                                kind: EventKind::RetentionMiss {
+                                    session: sref.session_id as u64,
+                                },
+                            });
+                        }
+                    }
+                    // A handed-off ingest's prompt never runs through
+                    // this replica's model; it books a single-token
+                    // decode workspace.
+                    let act_tokens = if is_ingest { 1 } else { job.new_tokens() };
+                    let act = cfg
+                        .model
+                        .activation_bytes_per_seq(alisa_sched::common::FP16)
+                        * act_tokens as u64;
+                    obs.emit(Event {
+                        t,
+                        replica: Some(i),
+                        request: Some(id),
+                        kind: EventKind::Admitted {
+                            reservation_bytes: res,
+                            kv_bytes: res.saturating_sub(act),
+                            activation_bytes: act,
+                            reserved_after: state.reserved,
+                            budget: state.budget,
+                            reused_prefix: job.reused_prefix,
+                            queue_wait_s: t - queued_since[id],
+                        },
+                    });
                 }
                 continue;
             }
@@ -866,6 +1102,24 @@ impl Router {
                     state.budget,
                 ) {
                     let vid = state.running.remove(vpos);
+                    if TRACED {
+                        let cost = engine.restart_cost(&requests[vid]);
+                        let decision_trace = format!(
+                            "candidate {id} (res {dres} B) outwaited patience; victim {vid} \
+                             books {} B > {dres} B and is cheapest to restart ({cost:.4}s)",
+                            res_bytes[vid]
+                        );
+                        obs.emit(Event {
+                            t,
+                            replica: Some(i),
+                            request: Some(vid),
+                            kind: EventKind::Preempted {
+                                victim_of: id,
+                                restart_cost_s: cost,
+                                decision_trace,
+                            },
+                        });
+                    }
                     engine.preempt_victim(
                         vid,
                         res_bytes[vid],
@@ -883,6 +1137,7 @@ impl Router {
             break;
         }
 
+        drop(_order);
         if newly.is_empty() && ingests.is_empty() && state.running.is_empty() {
             return; // nothing to do; the router controls the clock
         }
@@ -894,8 +1149,26 @@ impl Router {
             .chain(ingests.iter())
             .map(|&id| requests[id].seq_len())
             .collect();
-        let step_time = engine.step_time_sessions(&new_jobs, &running_lens);
+        let step_time = {
+            let _price = profile::timer(Phase::Pricing);
+            engine.step_time_sessions(&new_jobs, &running_lens)
+        };
         let batch = running_lens.len() + new_jobs.len();
+        if TRACED {
+            obs.emit(Event {
+                t,
+                replica: Some(i),
+                request: None,
+                kind: EventKind::Step {
+                    dur_s: step_time,
+                    prefills: new_jobs.len(),
+                    decodes: running_lens.len(),
+                    kv_reserved: state.reserved,
+                    queue_depth: state.queue.len(),
+                },
+            });
+        }
+        let _acct = profile::timer(Phase::Accounting);
         state.t += step_time;
         state.step_count += 1;
         state.batch_sum += batch as u64;
@@ -923,12 +1196,38 @@ impl Router {
                 if req.generated >= req.output_len {
                     req.finished_at = Some(t_end);
                     req.state = RequestState::Finished;
-                    engine.retain_finished(
+                    if TRACED {
+                        let req = &requests[id];
+                        obs.emit(Event {
+                            t: t_end,
+                            replica: Some(i),
+                            request: Some(id),
+                            kind: EventKind::Finished {
+                                generated: req.generated,
+                                e2e_s: t_end - req.arrival,
+                            },
+                        });
+                    }
+                    let stored = engine.retain_finished(
                         &requests[id],
                         next_turn[id],
                         state.budget - state.reserved,
                         &mut state.session_kv,
                     );
+                    if TRACED {
+                        if let Some((sid, seq_len, bytes)) = stored {
+                            obs.emit(Event {
+                                t: t_end,
+                                replica: Some(i),
+                                request: Some(id),
+                                kind: EventKind::RetentionStore {
+                                    session: sid as u64,
+                                    seq_len,
+                                    bytes,
+                                },
+                            });
+                        }
+                    }
                 } else {
                     *handoffs_total += 1;
                     let transfer = engine.kv_handoff_time(req.seq_len());
@@ -951,17 +1250,43 @@ impl Router {
                 let req = &mut requests[id];
                 req.finished_at = Some(t_end);
                 req.state = RequestState::Finished;
+                if TRACED {
+                    let req = &requests[id];
+                    obs.emit(Event {
+                        t: t_end,
+                        replica: Some(i),
+                        request: Some(id),
+                        kind: EventKind::Finished {
+                            generated: req.generated,
+                            e2e_s: t_end - req.arrival,
+                        },
+                    });
+                }
                 // Retain the finished turn's KV for the session's next
                 // turn, exactly like the single engine. (Under
                 // disaggregation the next turn enters at the prefill
                 // tier, so decode-side retention stays inert — sticky
                 // unified fleets are where reuse pays.)
-                engine.retain_finished(
+                let stored = engine.retain_finished(
                     &requests[id],
                     next_turn[id],
                     state.budget - state.reserved,
                     &mut state.session_kv,
                 );
+                if TRACED {
+                    if let Some((sid, seq_len, bytes)) = stored {
+                        obs.emit(Event {
+                            t: t_end,
+                            replica: Some(i),
+                            request: Some(id),
+                            kind: EventKind::RetentionStore {
+                                session: sid as u64,
+                                seq_len,
+                                bytes,
+                            },
+                        });
+                    }
+                }
             } else {
                 still_running.push(id);
             }
@@ -969,10 +1294,8 @@ impl Router {
         state.running = still_running;
 
         // ---- 5. Sample the timeline through the engine's shared
-        // decimation helper.
-        push_sample(
-            &mut state.timeline,
-            &mut state.sample_stride,
+        // decimation recorder (first and last sample always survive).
+        state.timeline.push(
             state.step_count,
             ServeSample {
                 t: t_end,
@@ -1017,7 +1340,7 @@ impl Router {
                     cfg.slo,
                     s.t,
                     mean_batch,
-                    s.timeline.clone(),
+                    s.timeline.samples().to_vec(),
                     s.peak_queue_depth,
                     s.peak_kv_bytes,
                     s.session_kv.as_ref().map(|kv| kv.stats()),
@@ -1040,7 +1363,7 @@ impl Router {
         };
         let mut merged: Vec<(usize, ServeSample)> = states
             .iter()
-            .flat_map(|s| s.timeline.iter().map(move |&p| (s.idx, p)))
+            .flat_map(|s| s.timeline.samples().iter().map(move |&p| (s.idx, p)))
             .collect();
         merged.sort_by(|a, b| a.1.t.total_cmp(&b.1.t).then_with(|| a.0.cmp(&b.0)));
         let makespan = states.iter().map(|s| s.t).fold(last_event_t, f64::max);

@@ -227,6 +227,7 @@ impl Trace {
     /// Generates a trace of `n` single-shot requests: arrival times from
     /// `process`, lengths from `lengths`, fully determined by `seed`.
     pub fn generate(process: &ArrivalProcess, lengths: &LengthModel, n: usize, seed: u64) -> Self {
+        let _gen = alisa_obs::profile::timer(alisa_obs::profile::Phase::TraceGen);
         let arrivals = process.arrival_times(n, seed);
         let entries = arrivals
             .into_iter()
@@ -272,6 +273,7 @@ impl Trace {
         sessions: usize,
         seed: u64,
     ) -> Self {
+        let _gen = alisa_obs::profile::timer(alisa_obs::profile::Phase::TraceGen);
         let starts = process.arrival_times(sessions, seed);
         let mut entries: Vec<TraceEntry> = Vec::new();
         for (sid, &start) in starts.iter().enumerate() {

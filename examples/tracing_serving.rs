@@ -1,0 +1,99 @@
+//! Observability walkthrough: trace one serving run end to end.
+//!
+//! Runs an overloaded preemptive-SJF scenario with a [`MemorySink`]
+//! attached, then shows the three consumption paths `alisa-obs`
+//! offers: (1) a filtered per-request decision timeline — why did
+//! request N wait, get preempted, or time out; (2) the metrics
+//! registry derived from the same stream, reconciled against the
+//! `ServeReport`; (3) export — JSONL for `trace_check` / ad-hoc
+//! grepping, and a Chrome trace-event JSON you can drop into
+//! `chrome://tracing` or <https://ui.perfetto.dev>.
+//!
+//! ```sh
+//! cargo run --release --example tracing_serving
+//! ```
+
+use alisa_memsim::HardwareSpec;
+use alisa_model::ModelConfig;
+use alisa_serve::{
+    AdmissionPolicy, ArrivalProcess, EventKind, MemorySink, MetricsRegistry, QueueDiscipline,
+    ServeConfig, ServeEngine, Trace,
+};
+use alisa_workloads::LengthModel;
+
+fn main() {
+    let model = ModelConfig::opt_6_7b();
+    let hw = HardwareSpec::v100_16gb();
+    println!("model:    {model}\nhardware: {hw}\n");
+
+    // An overloaded heavy-tailed mix under preemptive SJF with a finite
+    // queue timeout: the richest decision stream the simulator makes
+    // (admissions with pricing, preemptions, timeout rejections).
+    let cfg = ServeConfig::new(model, hw, AdmissionPolicy::alisa())
+        .with_discipline(
+            QueueDiscipline::preemptive_sjf()
+                .with_aging(5.0)
+                .with_patience(0.1),
+        )
+        .with_queue_timeout(2.0);
+    let trace = Trace::generate(
+        &ArrivalProcess::Poisson { rate: 20.0 },
+        &LengthModel::heavy_tailed(),
+        80,
+        42,
+    );
+
+    // Attach a sink; `run()` without one is the identical simulation
+    // with tracing compiled down to nothing.
+    let mut sink = MemorySink::new();
+    let report = ServeEngine::new(cfg).run_traced(&trace, &mut sink);
+    println!("{}", report.summary());
+    println!("captured {} events\n", sink.events().len());
+
+    // (1) Per-request decision timeline: pick the first request that
+    // was preempted and print its whole lifecycle.
+    let victim = sink.events().iter().find_map(|e| {
+        matches!(e.kind, EventKind::Preempted { .. })
+            .then_some(e.request)
+            .flatten()
+    });
+    if let Some(id) = victim {
+        println!("== decision timeline of request {id} (preempted at least once) ==");
+        for ev in sink.for_request(id) {
+            println!("  t={:9.4}s  {}", ev.t, ev.to_json());
+        }
+        println!();
+    }
+
+    // (2) The metrics registry is a pure fold over the stream — the
+    // report embeds the same dump, so the two views cannot drift.
+    let reg = MetricsRegistry::from_events(sink.events());
+    println!("== metrics derived from the stream ==");
+    print!("{}", reg.canonical_text());
+    assert_eq!(
+        report.metrics.as_deref(),
+        Some(reg.canonical_text().as_str()),
+        "the report's metrics section is this registry"
+    );
+    let preemptions = report.discipline.as_ref().map_or(0, |d| d.preemptions);
+    println!(
+        "\nreconciled: {} arrived == report {}, {} admitted == report {} + {} re-admissions",
+        reg.counter("arrived"),
+        report.arrived,
+        reg.counter("admitted"),
+        report.admitted,
+        preemptions,
+    );
+
+    // (3) Export: JSONL (one `Event::to_json` per line, what the
+    // figure binaries' `--events` flag streams) and a Chrome
+    // trace-event JSON for chrome://tracing or ui.perfetto.dev.
+    let jsonl = sink.to_jsonl();
+    let chrome = alisa_obs::perfetto::chrome_trace(sink.events());
+    println!(
+        "\nexports: {} JSONL bytes, {} chrome-trace bytes (write them \
+         to files to inspect; see docs/OBSERVABILITY.md)",
+        jsonl.len(),
+        chrome.len()
+    );
+}
