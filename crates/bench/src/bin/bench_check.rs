@@ -1,0 +1,181 @@
+//! Bench-regression gate over the committed `BENCH_*.json` baselines.
+//!
+//! Runs the hot-path criterion suites (the vendored criterion is
+//! already "quick mode": ~50ms warm-up + ~300ms measurement per
+//! target) and compares each benchmark id against the committed
+//! baseline next to this crate's manifest:
+//!
+//! * **regression** — new time exceeds `old × 1.25 + 1µs` (the flat
+//!   term keeps nanosecond-scale ids from tripping on timer jitter):
+//!   the run fails with a per-id report and restores the committed
+//!   baselines, so a red gate never rewrites history;
+//! * **improvement** — the baseline is refreshed to the new (smaller)
+//!   time, id by id, so the committed floor only ratchets downward;
+//!   pass `--check` to compare without refreshing (what CI wants on
+//!   pull requests).
+//!
+//! ```text
+//! cargo run --release -p alisa-bench --bin bench_check            # gate + refresh
+//! cargo run --release -p alisa-bench --bin bench_check -- --check # gate only
+//! ```
+//!
+//! Absolute numbers move with the host, so the gate is only meaningful
+//! against baselines recorded on comparable hardware — see the
+//! "Performance baselines" section of the README before reading a
+//! failure as a code regression.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+/// The hot-path suites the gate watches (scheduler inner loop, serving
+/// event loop, session reuse). `kernels`/`quant` measure the numeric
+/// kernels, which this gate's callers don't touch — run them directly
+/// when that's what you changed.
+const SUITES: [&str; 3] = ["schedulers", "serving", "sessions"];
+
+/// Multiplicative headroom before a slower measurement fails the gate.
+const TOLERANCE: f64 = 1.25;
+/// Flat headroom (ns) so sub-microsecond ids don't trip on jitter.
+const FLAT_NS: f64 = 1000.0;
+
+fn baseline_path(suite: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join(format!("BENCH_{suite}.json"))
+}
+
+/// Parses the vendored criterion's baseline format — one
+/// `"id": {"ns_per_iter": X.X, "iters": N}` entry per line — keeping
+/// file order. Panics on malformed lines: the only writers are
+/// `criterion::write_json` and this gate, so damage means a bad merge.
+fn parse(text: &str, path: &Path) -> Vec<(String, f64, u64)> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.trim().trim_end_matches(',');
+        if line.is_empty() || line == "{" || line == "}" {
+            continue;
+        }
+        let parse_entry = || -> Option<(String, f64, u64)> {
+            let (id, rest) = line.strip_prefix('"')?.split_once("\": ")?;
+            let body = rest.strip_prefix("{\"ns_per_iter\": ")?.strip_suffix('}')?;
+            let (ns, iters) = body.split_once(", \"iters\": ")?;
+            Some((id.to_string(), ns.parse().ok()?, iters.parse().ok()?))
+        };
+        out.push(parse_entry().unwrap_or_else(|| {
+            panic!("unparseable baseline line in {}: {line:?}", path.display())
+        }));
+    }
+    out
+}
+
+/// Renders entries back in exactly `criterion::write_json`'s format.
+fn render(entries: &[(String, f64, u64)]) -> String {
+    let mut out = String::from("{\n");
+    for (i, (id, ns, iters)) in entries.iter().enumerate() {
+        let comma = if i + 1 == entries.len() { "" } else { "," };
+        out.push_str(&format!(
+            "  \"{id}\": {{\"ns_per_iter\": {ns:.1}, \"iters\": {iters}}}{comma}\n"
+        ));
+    }
+    out.push_str("}\n");
+    out
+}
+
+struct SuiteOutcome {
+    suite: &'static str,
+    /// `(id, old_ns, new_ns)` for every id that broke the threshold.
+    regressions: Vec<(String, f64, f64)>,
+    improved: usize,
+}
+
+fn main() {
+    let check_only = std::env::args().any(|a| a == "--check");
+    let mut outcomes: Vec<SuiteOutcome> = Vec::new();
+
+    for suite in SUITES {
+        let path = baseline_path(suite);
+        let old_text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("missing baseline {}: {e}", path.display()));
+        let old = parse(&old_text, &path);
+        let old_by_id: BTreeMap<&str, f64> =
+            old.iter().map(|(id, ns, _)| (id.as_str(), *ns)).collect();
+
+        println!("== {suite}: running `cargo bench -p alisa-bench --bench {suite}` ==");
+        let status = Command::new(env!("CARGO"))
+            .args(["bench", "-p", "alisa-bench", "--bench", suite])
+            .status()
+            .expect("cargo must be runnable");
+        assert!(status.success(), "bench suite {suite} failed to run");
+
+        // The bench executable runs with CWD = this crate's manifest
+        // dir, so it rewrote `path` in place; the committed numbers are
+        // in `old`.
+        let new_text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("bench run left no {}: {e}", path.display()));
+        let new = parse(&new_text, &path);
+
+        let mut outcome = SuiteOutcome {
+            suite,
+            regressions: Vec::new(),
+            improved: 0,
+        };
+        // Merge: new-run id order, each id at the best time ever seen.
+        // Ids that vanished from the suite drop out of the baseline;
+        // brand-new ids enter at their first measurement.
+        let merged: Vec<(String, f64, u64)> = new
+            .into_iter()
+            .map(|(id, new_ns, iters)| {
+                let best = match old_by_id.get(id.as_str()) {
+                    Some(&old_ns) => {
+                        if new_ns > old_ns * TOLERANCE + FLAT_NS {
+                            outcome.regressions.push((id.clone(), old_ns, new_ns));
+                        }
+                        if new_ns < old_ns {
+                            outcome.improved += 1;
+                        }
+                        old_ns.min(new_ns)
+                    }
+                    None => new_ns,
+                };
+                (id, best, iters)
+            })
+            .collect();
+
+        if check_only || !outcome.regressions.is_empty() {
+            // Never let a gate run (or a red run) move the baseline.
+            std::fs::write(&path, &old_text).expect("baseline restore must succeed");
+        } else {
+            std::fs::write(&path, render(&merged)).expect("baseline refresh must succeed");
+        }
+        outcomes.push(outcome);
+    }
+
+    println!();
+    let mut failed = false;
+    for o in &outcomes {
+        if o.regressions.is_empty() {
+            let action = if check_only {
+                "left as committed"
+            } else {
+                "refreshed"
+            };
+            println!(
+                "{:<12} OK ({} ids improved, baseline {action})",
+                o.suite, o.improved
+            );
+        } else {
+            failed = true;
+            println!("{:<12} REGRESSED:", o.suite);
+            for (id, old_ns, new_ns) in &o.regressions {
+                println!(
+                    "  {id:<48} {old_ns:>12.1} -> {new_ns:>12.1} ns/iter ({:+.1}%)",
+                    (new_ns / old_ns - 1.0) * 100.0
+                );
+            }
+        }
+    }
+    if failed {
+        println!("\nbench_check: FAIL (threshold: old * {TOLERANCE} + {FLAT_NS} ns)");
+        std::process::exit(1);
+    }
+    println!("\nbench_check: OK");
+}

@@ -28,4 +28,4 @@ pub mod token_store;
 pub use head_split::HeadSplitStore;
 pub use paged::PagedKvStore;
 pub use sessions::{RetainedSession, ReuseStats, SessionKvCache};
-pub use token_store::{Location, TokenKvStore};
+pub use token_store::{Location, NeededPartition, TokenKvStore};

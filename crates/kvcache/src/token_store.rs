@@ -204,15 +204,27 @@ impl TokenKvStore {
     /// currently live — the scheduler's per-step working set analysis.
     pub fn partition_needed(&self, needed: &[usize]) -> NeededPartition {
         let mut p = NeededPartition::default();
+        self.partition_needed_into(needed, &mut p);
+        p
+    }
+
+    /// [`TokenKvStore::partition_needed`] into a caller-owned partition
+    /// whose buffers are cleared and reused, so a per-step caller
+    /// allocates nothing in steady state. Produces exactly the same
+    /// partition as the allocating variant.
+    pub fn partition_needed_into(&self, needed: &[usize], out: &mut NeededPartition) {
+        out.on_gpu.clear();
+        out.on_cpu.clear();
+        out.deleted.clear();
+        out.missing.clear();
         for &i in needed {
             match self.locations.get(i) {
-                Some(Location::Gpu) => p.on_gpu.push(i),
-                Some(Location::Cpu) => p.on_cpu.push(i),
-                Some(Location::Deleted) => p.deleted.push(i),
-                None => p.missing.push(i),
+                Some(Location::Gpu) => out.on_gpu.push(i),
+                Some(Location::Cpu) => out.on_cpu.push(i),
+                Some(Location::Deleted) => out.deleted.push(i),
+                None => out.missing.push(i),
             }
         }
-        p
     }
 }
 
@@ -287,6 +299,10 @@ mod tests {
         assert_eq!(p.on_cpu, vec![1]);
         assert_eq!(p.deleted, vec![2]);
         assert_eq!(p.missing, vec![9]);
+        // The reusing variant clears stale contents and agrees exactly.
+        let mut reused = s.partition_needed(&[2, 9]);
+        s.partition_needed_into(&[0, 1, 2, 9], &mut reused);
+        assert_eq!(reused, p);
     }
 
     #[test]

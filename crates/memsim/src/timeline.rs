@@ -80,6 +80,14 @@ impl Timeline {
         self.records.push(record);
     }
 
+    /// Pre-sizes the log for `additional` more records, so a simulator
+    /// that knows its step count up front (prefill + every decode step)
+    /// pays one allocation instead of doubling-growth reallocations in
+    /// its hot loop.
+    pub fn reserve(&mut self, additional: usize) {
+        self.records.reserve(additional);
+    }
+
     /// All records, in step order.
     pub fn records(&self) -> &[StepRecord] {
         &self.records

@@ -25,7 +25,7 @@
 //! point — CPU-resident tokens at INT8, so the link moves half the
 //! bytes plus a quantize/dequantize vector op.
 
-use alisa_kvcache::{Location, TokenKvStore};
+use alisa_kvcache::{Location, NeededPartition, TokenKvStore};
 use alisa_memsim::{HardwareSpec, MemClass, StepRecord};
 use alisa_model::ModelConfig;
 use alisa_tensor::quant::PrecisionPolicy;
@@ -165,6 +165,11 @@ impl GlobalSetModel {
     }
 
     /// The `k` global positions among `0..range_end` at step `j`.
+    ///
+    /// This is the *naive reference* selection: it re-derives both hash
+    /// terms of every score inside the sort comparator. The scheduler's
+    /// hot loop uses [`GlobalSetModel::pick_into`] instead, and the
+    /// differential tests pin the two byte-for-byte against each other.
     pub fn pick(&self, k: usize, range_end: usize, j: usize, seq_len: usize) -> Vec<usize> {
         let _topk = alisa_obs::profile::timer(alisa_obs::profile::Phase::TopK);
         if k == 0 || range_end == 0 {
@@ -181,6 +186,103 @@ impl GlobalSetModel {
         out.sort_unstable();
         out
     }
+
+    /// [`GlobalSetModel::pick`] with cross-step caching and reused
+    /// buffers — the hot-path selection. The score
+    /// `0.55·hot + 0.2·drift + 0.25·recency` factors into a per-position
+    /// base (`hot` never changes; `drift` only changes when the
+    /// `j / epoch` bucket rolls) plus the step's recency tilt, so the
+    /// base is kept in `scratch` across decode steps and extended
+    /// incrementally as the selectable range grows. Selection then runs
+    /// a partial sort over the precomputed scores under the *same*
+    /// strict total order as the reference comparator (score descending,
+    /// index descending on ties; scores are finite, so `partial_cmp`
+    /// never falls through), which makes the selected set — and the
+    /// ascending `out` — byte-identical to [`GlobalSetModel::pick`]'s.
+    pub fn pick_into(
+        &self,
+        k: usize,
+        range_end: usize,
+        j: usize,
+        seq_len: usize,
+        scratch: &mut TopKScratch,
+        out: &mut Vec<usize>,
+    ) {
+        let _topk = alisa_obs::profile::timer(alisa_obs::profile::Phase::TopK);
+        out.clear();
+        if k == 0 || range_end == 0 {
+            return;
+        }
+        let epoch = j / self.epoch;
+        let TopKScratch {
+            epoch_key,
+            base,
+            pf,
+            score,
+            key,
+        } = scratch;
+        if *epoch_key != Some(epoch) {
+            *epoch_key = Some(epoch);
+            base.clear();
+        }
+        for p in base.len()..range_end {
+            let hot = hash_unit(self.seed, p as u64);
+            let drift = hash_unit(self.seed ^ 0xD21F, (p as u64) << 20 | epoch as u64);
+            // The leading two terms of `score`, associated exactly as
+            // the reference expression associates them.
+            base.push(0.55 * hot + 0.2 * drift);
+        }
+        for p in pf.len()..range_end {
+            pf.push(p as f64);
+        }
+        // Score pass first (pure f64 arithmetic over slices, which the
+        // compiler vectorizes), then pack each candidate as
+        // (score bits ‖ index) in one u128. Scores are finite and
+        // non-negative (every term is), so IEEE bit order equals numeric
+        // order and a single integer compare reproduces the reference
+        // order exactly: descending score, then descending index on
+        // ties.
+        let denom = seq_len.max(1) as f64;
+        score.clear();
+        score.extend(
+            base[..range_end]
+                .iter()
+                .zip(&pf[..range_end])
+                .map(|(&b, &p)| b + 0.25 * (p / denom)),
+        );
+        key.clear();
+        key.extend(
+            score
+                .iter()
+                .enumerate()
+                .map(|(p, s)| (s.to_bits() as u128) << 32 | p as u128),
+        );
+        let keep = k.min(range_end);
+        if keep < range_end {
+            key.select_nth_unstable_by(keep - 1, |a, b| b.cmp(a));
+        }
+        out.extend(key[..keep].iter().map(|&packed| packed as u32 as usize));
+        out.sort_unstable();
+    }
+}
+
+/// Reusable cross-step selection state for [`GlobalSetModel::pick_into`]:
+/// cached per-position score bases (valid for one drift epoch), the
+/// current step's full score table, and the candidate-index workspace.
+/// One instance lives for a whole decode loop; steady-state selection
+/// allocates nothing.
+#[derive(Debug, Clone, Default)]
+pub struct TopKScratch {
+    /// Drift epoch (`j / epoch`) the cached bases were computed for.
+    epoch_key: Option<usize>,
+    /// `0.55·hot(p) + 0.2·drift(p, epoch)` for each cached position.
+    base: Vec<f64>,
+    /// `p as f64` for each cached position (epoch-independent).
+    pf: Vec<f64>,
+    /// Per-step score table (`base + 0.25·recency`).
+    score: Vec<f64>,
+    /// Per-step packed (score bits ‖ index) keys, partially sorted.
+    key: Vec<u128>,
 }
 
 impl InferenceSystem for AlisaScheduler {
@@ -226,11 +328,16 @@ impl InferenceSystem for AlisaScheduler {
             store.append(Location::Gpu);
         }
         let mut gpu_kv = wl.input_len as u64 * gpu_tok;
+        // All prompt tokens are GPU-resident and nothing else touches
+        // the store here, so "oldest on GPU" is simply the next index in
+        // appending order — a cursor instead of a per-victim store scan.
+        let mut next_spill = 0usize;
         while gpu_kv > watermark {
-            let Some(&victim) = store.oldest_at(Location::Gpu, 1).first() else {
+            if next_spill >= store.len() {
                 break;
-            };
-            store.relocate(victim, Location::Cpu);
+            }
+            store.relocate(next_spill, Location::Cpu);
+            next_spill += 1;
             gpu_kv -= gpu_tok;
             prefill_store_bytes += cpu_tok;
         }
@@ -260,7 +367,17 @@ impl InferenceSystem for AlisaScheduler {
 
         let mut entered_phase2 = prefill_store_bytes > 0;
 
-        // ---- Decode loop (Algorithm 2).
+        // ---- Decode loop (Algorithm 2). All per-step working storage
+        // is hoisted here and reused, so the steady-state loop allocates
+        // nothing; `tests/differential.rs` pins the output against the
+        // naive reference paths byte-for-byte.
+        sim.timeline.reserve(wl.output_len);
+        let mut topk = TopKScratch::default();
+        let mut global_set: Vec<usize> = Vec::new();
+        let mut evict_order: Vec<usize> = Vec::new();
+        let mut evict_globals: Vec<usize> = Vec::new();
+        let mut evict_window: Vec<usize> = Vec::new();
+        let mut part = NeededPartition::default();
         let mut beta_acc = 0.0f64;
         for j in 1..=wl.output_len {
             let seq_len = wl.input_len + j;
@@ -275,37 +392,64 @@ impl InferenceSystem for AlisaScheduler {
 
             // SWA working set: pinned local window + drifting globals.
             let window_start = seq_len - k_local;
-            let global_set = globals.pick(k_global, window_start, j, seq_len);
+            globals.pick_into(
+                k_global,
+                window_start,
+                j,
+                seq_len,
+                &mut topk,
+                &mut global_set,
+            );
 
             // (a) Make room for the incoming token: offload (or, in
             // Phase III, delete) the oldest GPU tokens. Working-set
             // tokens are preferred victims *last*: first anything
             // outside window ∪ globals, then globals, then the window
-            // itself (the degenerate streaming regime).
+            // itself (the degenerate streaming regime). Nothing is
+            // appended while draining and victims only ever leave the
+            // GPU, so the victim sequence the per-eviction rescan would
+            // produce is exactly those three classes in ascending index
+            // order — built in one pass and consumed by cursor.
             let target = watermark.saturating_sub(gpu_tok);
-            while sim.gpu.used_by(MemClass::KvCache) > target {
-                let resident = store.oldest_at(Location::Gpu, usize::MAX);
-                let victim = resident
-                    .iter()
-                    .copied()
-                    .find(|&i| i < window_start && !global_set.contains(&i))
-                    .or_else(|| resident.iter().copied().find(|&i| i < window_start))
-                    .or_else(|| resident.first().copied());
-                let Some(victim) = victim else { break };
-                sim.gpu.free(MemClass::KvCache, gpu_tok);
-                beta_acc += self.plan.beta;
-                if phase3 && beta_acc >= 1.0 {
-                    // Algorithm 2 line 17: delete instead of store.
-                    beta_acc -= 1.0;
-                    store.relocate(victim, Location::Deleted);
-                } else {
-                    store.relocate(victim, Location::Cpu);
-                    store_bytes += cpu_tok;
-                    if let Err(e) = sim.cpu.alloc(MemClass::KvCache, cpu_tok) {
-                        return sim.oom(self.name(), model, wl, j, e);
+            if sim.gpu.used_by(MemClass::KvCache) > target {
+                evict_order.clear();
+                evict_globals.clear();
+                evict_window.clear();
+                for i in 0..store.len() {
+                    if store.location(i) != Location::Gpu {
+                        continue;
+                    }
+                    if i >= window_start {
+                        evict_window.push(i);
+                    } else if global_set.binary_search(&i).is_ok() {
+                        evict_globals.push(i);
+                    } else {
+                        evict_order.push(i);
                     }
                 }
-                entered_phase2 = true;
+                evict_order.extend_from_slice(&evict_globals);
+                evict_order.extend_from_slice(&evict_window);
+                let mut next_victim = 0usize;
+                while sim.gpu.used_by(MemClass::KvCache) > target {
+                    let Some(&victim) = evict_order.get(next_victim) else {
+                        break;
+                    };
+                    next_victim += 1;
+                    sim.gpu.free(MemClass::KvCache, gpu_tok);
+                    beta_acc += self.plan.beta;
+                    if phase3 && beta_acc >= 1.0 {
+                        // Algorithm 2 line 17: delete instead of store.
+                        beta_acc -= 1.0;
+                        store.relocate(victim, Location::Deleted);
+                    } else {
+                        store.relocate(victim, Location::Cpu);
+                        store_bytes += cpu_tok;
+                        if let Err(e) = sim.cpu.alloc(MemClass::KvCache, cpu_tok) {
+                            return sim.oom(self.name(), model, wl, j, e);
+                        }
+                    }
+                    entered_phase2 = true;
+                }
             }
 
             // (b) Append the new token's KV on GPU.
@@ -318,7 +462,7 @@ impl InferenceSystem for AlisaScheduler {
             // When the watermark allows, pulled tokens are *cached* on
             // the GPU; otherwise they stream through the transient
             // margin buffer and are charged again next step.
-            let part = store.partition_needed(&global_set);
+            store.partition_needed_into(&global_set, &mut part);
             debug_assert!(part.missing.is_empty(), "global set out of range");
             for &i in &part.on_cpu {
                 load_bytes += cpu_reload_tok;
@@ -561,6 +705,28 @@ mod tests {
         // Across an epoch boundary the set usually changes.
         let later = g.pick(8, 100, 5 + 64, 120);
         assert_ne!(a, later, "drift epochs must churn the set");
+    }
+
+    #[test]
+    fn pick_into_matches_reference_pick() {
+        // The incremental selection must equal the naive reference at
+        // every step, including across drift-epoch rolls and with the
+        // scratch reused (warm) versus fresh (cold).
+        let g = GlobalSetModel::new(0xA11A);
+        let mut warm = TopKScratch::default();
+        let mut out = Vec::new();
+        for j in 1..=200usize {
+            let seq_len = 64 + j;
+            let budget = ((seq_len as f64 * 0.2).round() as usize).clamp(1, seq_len);
+            let k = budget - budget.div_ceil(2);
+            let range_end = seq_len - budget.div_ceil(2);
+            g.pick_into(k, range_end, j, seq_len, &mut warm, &mut out);
+            assert_eq!(out, g.pick(k, range_end, j, seq_len), "warm, step {j}");
+            let mut cold = TopKScratch::default();
+            let mut cold_out = Vec::new();
+            g.pick_into(k, range_end, j, seq_len, &mut cold, &mut cold_out);
+            assert_eq!(out, cold_out, "cold, step {j}");
+        }
     }
 
     #[test]

@@ -35,7 +35,7 @@ pub mod vllm;
 pub mod workload;
 
 pub use accelerate::AccelerateScheduler;
-pub use alisa::{AlisaScheduler, Plan, PlanOptimizer};
+pub use alisa::{AlisaScheduler, GlobalSetModel, Plan, PlanOptimizer, TopKScratch};
 pub use common::{SimBase, StepExecutor};
 pub use deepspeed::DeepSpeedZeroScheduler;
 pub use flexgen::FlexGenScheduler;

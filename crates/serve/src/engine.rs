@@ -29,7 +29,7 @@ use alisa_sched::{SimBase, StepExecutor};
 use serde::{Deserialize, Serialize};
 
 use crate::admission::AdmissionPolicy;
-use crate::discipline::QueueDiscipline;
+use crate::discipline::{QueueDiscipline, QueueOrder, QueuePick};
 use crate::metrics::{ServeReport, ServeSample, SloSpec};
 use crate::request::{RejectReason, Request, RequestState};
 use crate::trace::Trace;
@@ -273,13 +273,30 @@ pub fn derived_slo(model: &ModelConfig, hardware: &HardwareSpec) -> SloSpec {
 pub struct ServeEngine {
     cfg: ServeConfig,
     exec: SimBase,
+    reference_paths: bool,
 }
 
 impl ServeEngine {
     /// Builds the engine (and its cost model) for a config.
     pub fn new(cfg: ServeConfig) -> Self {
         let exec = SimBase::new(&cfg.hardware);
-        ServeEngine { cfg, exec }
+        ServeEngine {
+            cfg,
+            exec,
+            reference_paths: false,
+        }
+    }
+
+    /// Forces the naive reference hot paths: the rejection scan runs
+    /// every iteration instead of being event-gated, and admission
+    /// re-selects via [`QueueDiscipline::select`]'s full rescan instead
+    /// of the maintained [`crate::discipline::QueueOrder`]. Reports and
+    /// event streams must be byte-identical either way — this switch
+    /// exists so `tests/differential.rs` can prove exactly that.
+    #[doc(hidden)]
+    pub fn with_reference_paths(mut self, on: bool) -> Self {
+        self.reference_paths = on;
+        self
     }
 
     /// The config in use.
@@ -543,22 +560,26 @@ impl ServeEngine {
     /// eviction ping-pong), and must themselves remain re-admissible
     /// (their restart reservation fits an empty budget). Returns the
     /// *position* in `running`; ties break to the earliest position.
-    pub(crate) fn pick_victim(
+    ///
+    /// Takes per-id accessors instead of whole slices so the router's
+    /// parallel replica stepping can route the lookups through its
+    /// disjoint-ownership view; the engine passes plain index closures.
+    pub(crate) fn pick_victim<'r>(
         &self,
         running: &[usize],
-        requests: &[Request],
-        res_live: &[u64],
+        req: impl Fn(usize) -> &'r Request,
+        res_live: impl Fn(usize) -> u64,
         cand_res: u64,
         reserved: u64,
         budget: u64,
     ) -> Option<usize> {
         let mut best: Option<(usize, f64)> = None;
         for (pos, &id) in running.iter().enumerate() {
-            let req = &requests[id];
-            if res_live[id] <= cand_res {
+            let req = req(id);
+            if res_live(id) <= cand_res {
                 continue;
             }
-            if reserved - res_live[id] + cand_res > budget {
+            if reserved - res_live(id) + cand_res > budget {
                 continue;
             }
             if self.requeue_reservation_bytes(req) > budget {
@@ -585,19 +606,18 @@ impl ServeEngine {
         &self,
         vid: usize,
         victim_res: u64,
-        requests: &mut [Request],
+        vreq: &mut Request,
         reserved: &mut u64,
         budget: u64,
         now: f64,
-        waiting_since: &mut [f64],
+        waiting_slot: &mut f64,
         queue: &mut VecDeque<usize>,
         session_kv: &mut Option<SessionKvCache>,
     ) {
         *reserved -= victim_res;
-        waiting_since[vid] = now;
-        let seq = requests[vid].seq_len();
-        let session = requests[vid].session;
-        let vreq = &mut requests[vid];
+        *waiting_slot = now;
+        let seq = vreq.seq_len();
+        let session = vreq.session;
         vreq.state = RequestState::Preempted;
         vreq.preemptions += 1;
         queue.push_back(vid);
@@ -732,6 +752,24 @@ impl ServeEngine {
         let mut t = 0.0f64;
         let mut timeline = TimelineRec::new();
         let mut evicted_scratch: Vec<RetainedSession> = Vec::new();
+        // Rejection-scan gating: the per-iteration `queue.retain` can
+        // only remove something when a queued fresh request can never
+        // fit (counted at push) or when the earliest queued arrival has
+        // outlived the timeout. `min_queued_arrival` is a conservative
+        // lower bound — removals only raise the true minimum, and the
+        // gate applies the *same* `t - arrival > timeout` expression the
+        // scan does, so gating never changes which step rejects what.
+        // `reference_paths` forces the scan every iteration.
+        let force_scan = self.reference_paths;
+        let timeout_finite = cfg.queue_timeout_s.is_finite();
+        let mut infeasible_queued = 0usize;
+        let mut min_queued_arrival = f64::INFINITY;
+        // Per-step scratch, reused across iterations so the steady-state
+        // loop allocates nothing.
+        let mut newly: Vec<usize> = Vec::new();
+        let mut new_jobs: Vec<PrefillJob> = Vec::new();
+        let mut running_lens: Vec<usize> = Vec::new();
+        let mut still_running: Vec<usize> = Vec::new();
         let mut step_count = 0u64;
         let mut batch_sum = 0u64;
         // Exact extrema, tracked every step — the timeline decimates
@@ -767,6 +805,12 @@ impl ServeEngine {
                             },
                         });
                     }
+                    if res_bytes[id] > budget {
+                        infeasible_queued += 1;
+                    }
+                    if timeout_finite {
+                        min_queued_arrival = min_queued_arrival.min(requests[id].arrival);
+                    }
                     queue.push_back(id);
                     next_open_arrival += 1;
                 }
@@ -793,6 +837,12 @@ impl ServeEngine {
                                     },
                                 });
                             }
+                            if res_bytes[id] > budget {
+                                infeasible_queued += 1;
+                            }
+                            if timeout_finite {
+                                min_queued_arrival = min_queued_arrival.min(at);
+                            }
                             queue.push_back(id);
                         }
                     }
@@ -805,56 +855,66 @@ impl ServeEngine {
             // reservation feasible) and already count as admitted, so
             // rejecting them would double-count — preemption re-queues,
             // it never drops.
-            queue.retain(|&id| {
-                let req = &mut requests[id];
-                if req.state == RequestState::Preempted {
-                    return true;
-                }
-                let reason = if res_bytes[id] > budget {
-                    Some(RejectReason::Infeasible)
-                } else if t - req.arrival > cfg.queue_timeout_s {
-                    Some(RejectReason::QueueTimeout {
-                        waited_s: t - req.arrival,
-                        discipline: discipline.name(),
-                    })
-                } else {
-                    None
-                };
-                if let Some(reason) = reason {
-                    req.state = RequestState::Rejected;
-                    req.reject_reason = Some(reason);
-                    if TRACED {
-                        let decision_trace = match reason {
-                            RejectReason::Infeasible => format!(
-                                "reservation {} B > budget {budget} B under {}: can never fit",
-                                res_bytes[id],
-                                cfg.policy.name()
-                            ),
-                            RejectReason::QueueTimeout {
-                                waited_s,
-                                discipline,
-                            } => format!(
-                                "waited {waited_s:.3}s > timeout {:.3}s in {discipline} scan",
-                                cfg.queue_timeout_s
-                            ),
-                        };
-                        emit!(Event {
-                            t,
-                            replica: None,
-                            request: Some(id),
-                            kind: EventKind::Rejected {
-                                reason: reason.label().to_string(),
-                                queue_wait_s: t - req.arrival,
-                                decision_trace,
-                            },
-                        });
+            if force_scan
+                || infeasible_queued > 0
+                || (timeout_finite && t - min_queued_arrival > cfg.queue_timeout_s)
+            {
+                infeasible_queued = 0;
+                min_queued_arrival = f64::INFINITY;
+                queue.retain(|&id| {
+                    let req = &mut requests[id];
+                    if req.state == RequestState::Preempted {
+                        return true;
                     }
-                    release(req, t, &mut client_ready, &mut client_outstanding);
-                    false
-                } else {
-                    true
-                }
-            });
+                    let reason = if res_bytes[id] > budget {
+                        Some(RejectReason::Infeasible)
+                    } else if t - req.arrival > cfg.queue_timeout_s {
+                        Some(RejectReason::QueueTimeout {
+                            waited_s: t - req.arrival,
+                            discipline: discipline.name(),
+                        })
+                    } else {
+                        None
+                    };
+                    if let Some(reason) = reason {
+                        req.state = RequestState::Rejected;
+                        req.reject_reason = Some(reason);
+                        if TRACED {
+                            let decision_trace = match reason {
+                                RejectReason::Infeasible => format!(
+                                    "reservation {} B > budget {budget} B under {}: can never fit",
+                                    res_bytes[id],
+                                    cfg.policy.name()
+                                ),
+                                RejectReason::QueueTimeout {
+                                    waited_s,
+                                    discipline,
+                                } => format!(
+                                    "waited {waited_s:.3}s > timeout {:.3}s in {discipline} scan",
+                                    cfg.queue_timeout_s
+                                ),
+                            };
+                            emit!(Event {
+                                t,
+                                replica: None,
+                                request: Some(id),
+                                kind: EventKind::Rejected {
+                                    reason: reason.label().to_string(),
+                                    queue_wait_s: t - req.arrival,
+                                    decision_trace,
+                                },
+                            });
+                        }
+                        release(req, t, &mut client_ready, &mut client_outstanding);
+                        false
+                    } else {
+                        if timeout_finite {
+                            min_queued_arrival = min_queued_arrival.min(req.arrival);
+                        }
+                        true
+                    }
+                });
+            }
 
             // The waiting backlog peaks here: arrivals are pumped and
             // hopeless entries dropped, but admission has not yet
@@ -872,9 +932,15 @@ impl ServeEngine {
             // admitted with only its suffix needing prefill; retained
             // caches are LRU-evicted whenever they stand between a live
             // request and the budget.
-            let mut newly: Vec<usize> = Vec::new();
-            let mut new_jobs: Vec<PrefillJob> = Vec::new();
+            newly.clear();
+            new_jobs.clear();
             let _order = profile::timer(Phase::Discipline);
+            // The maintained order is built lazily on the step's first
+            // selection (a saturated batch never pays for it) and stays
+            // valid for the whole step: the clock is fixed, admissions
+            // unlink entries, and preempted victims are inserted where
+            // the reference rescan would find them.
+            let mut order: Option<QueueOrder> = None;
             loop {
                 if running.len() + newly.len() >= cfg.max_batch {
                     break;
@@ -886,11 +952,20 @@ impl ServeEngine {
                         res_bytes[id]
                     }
                 };
-                let Some(pos) = discipline.select(&queue, budget - reserved, default_res, |id| {
-                    t - waiting_since[id]
-                }) else {
+                let wait = |id: usize| t - waiting_since[id];
+                let pick = if self.reference_paths {
+                    discipline
+                        .select(&queue, budget - reserved, default_res, wait)
+                        .map(QueuePick::reference)
+                } else {
+                    order
+                        .get_or_insert_with(|| discipline.build_order(&queue, default_res, wait))
+                        .select(queue.len(), budget - reserved)
+                };
+                let Some(pick) = pick else {
                     break;
                 };
+                let pos = pick.pos;
                 let id = queue[pos];
                 let prefix = if requests[id].state == RequestState::Preempted {
                     requests[id].seq_len()
@@ -909,6 +984,9 @@ impl ServeEngine {
                     &mut evicted_scratch,
                 ) {
                     queue.remove(pos);
+                    if let Some(ord) = order.as_mut() {
+                        ord.remove(pick);
+                    }
                     res_live[id] = res;
                     reserved += res;
                     let req = &mut requests[id];
@@ -1000,9 +1078,14 @@ impl ServeEngine {
                     .preemption_patience()
                     .is_some_and(|p| t - waiting_since[id] > p);
                 if patient {
-                    if let Some(vpos) =
-                        self.pick_victim(&running, &requests, &res_live, dres, reserved, budget)
-                    {
+                    if let Some(vpos) = self.pick_victim(
+                        &running,
+                        |id| &requests[id],
+                        |id| res_live[id],
+                        dres,
+                        reserved,
+                        budget,
+                    ) {
                         let vid = running.remove(vpos);
                         if TRACED {
                             let cost = self.restart_cost(&requests[vid]);
@@ -1025,14 +1108,21 @@ impl ServeEngine {
                         self.preempt_victim(
                             vid,
                             res_live[vid],
-                            &mut requests,
+                            &mut requests[vid],
                             &mut reserved,
                             budget,
                             t,
-                            &mut waiting_since,
+                            &mut waiting_since[vid],
                             &mut queue,
                             &mut session_kv,
                         );
+                        if let Some(ord) = order.as_mut() {
+                            // The victim's wait restarts at eviction, so
+                            // its key is its requeue reservation undecayed
+                            // — exactly what the reference rescan computes.
+                            let vres = self.requeue_reservation_bytes(&requests[vid]);
+                            ord.push_requeued(discipline.order_key(vres, 0.0), vres);
+                        }
                         continue;
                     }
                 }
@@ -1071,8 +1161,8 @@ impl ServeEngine {
             // admitted + one decode token for the running batch + the
             // policy's per-step overhead, all priced through
             // [`ServeEngine::step_time`] (shared with the router).
-            let running_lens: Vec<usize> =
-                running.iter().map(|&id| requests[id].seq_len()).collect();
+            running_lens.clear();
+            running_lens.extend(running.iter().map(|&id| requests[id].seq_len()));
             let step_time = {
                 let _price = profile::timer(Phase::Pricing);
                 self.step_time_sessions(&new_jobs, &running_lens)
@@ -1115,7 +1205,7 @@ impl ServeEngine {
                 req.state = RequestState::Decoding;
                 running.push(id);
             }
-            let mut still_running = Vec::with_capacity(running.len());
+            still_running.clear();
             for id in running.drain(..) {
                 if requests[id].generated >= requests[id].output_len {
                     reserved -= res_live[id];
@@ -1160,7 +1250,7 @@ impl ServeEngine {
                     still_running.push(id);
                 }
             }
-            running = still_running;
+            std::mem::swap(&mut running, &mut still_running);
 
             // ---- 7. Sample the timeline (decimating deterministically
             // once it grows past the cap; the recorder keeps the first

@@ -88,7 +88,7 @@ pub use alisa_obs::{
     Event, EventKind, JsonlSink, MemorySink, MetricsRegistry, NullSink, TraceSink,
 };
 pub use arrivals::ArrivalProcess;
-pub use discipline::{DisciplineStats, QueueDiscipline};
+pub use discipline::{DisciplineStats, QueueDiscipline, QueueOrder, QueuePick};
 pub use engine::{derived_slo, ClosedLoopCfg, PrefillJob, RetentionCfg, ServeConfig, ServeEngine};
 pub use metrics::{LatencyStats, ServeReport, ServeSample, SloSpec};
 pub use request::{RejectReason, Request, RequestState};

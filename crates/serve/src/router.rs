@@ -159,6 +159,26 @@ pub struct RouterConfig {
     pub requeue_on_reject: bool,
     /// Prefill/decode disaggregation, if enabled.
     pub disagg: Option<DisaggCfg>,
+    /// Worker threads used to advance lagging replicas between
+    /// dispatches. `1` (the default) steps them serially in index
+    /// order; larger values fan the per-replica steps out over scoped
+    /// threads. Replica steps between two dispatches touch disjoint
+    /// state (each replica only its own queue/batch and the requests it
+    /// currently owns), and the event merge assigns heap sequence
+    /// numbers in ascending replica order — exactly the serial order —
+    /// so any thread count produces a byte-identical [`RouterReport`]
+    /// and, under tracing, an identical event stream (traced runs step
+    /// serially so per-replica events interleave deterministically).
+    #[serde(default = "default_step_threads")]
+    pub step_threads: usize,
+}
+
+// Referenced by the `#[serde(default)]` attribute above; the vendored
+// no-op serde_derive expands derives to nothing, so under it this fn is
+// only reachable once the real serde is swapped in.
+#[allow(dead_code)]
+fn default_step_threads() -> usize {
+    1
 }
 
 impl RouterConfig {
@@ -170,7 +190,16 @@ impl RouterConfig {
             lb: LoadBalancePolicy::RoundRobin,
             requeue_on_reject: false,
             disagg: None,
+            step_threads: 1,
         }
+    }
+
+    /// Overrides the replica-stepping worker-thread count (`0` is
+    /// clamped to serial). Purely a wall-clock knob: reports and traced
+    /// event streams are byte-identical for every value.
+    pub fn with_step_threads(mut self, n: usize) -> Self {
+        self.step_threads = n.max(1);
+        self
     }
 
     /// Overrides the load-balancing policy.
@@ -302,6 +331,110 @@ impl Ord for Ev {
             .t
             .total_cmp(&self.t)
             .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Everything one replica step wants to publish to the global
+/// simulation: heap events in emission order (bounce re-queues from the
+/// timeout scan, then prefill→decode handoffs), plus the bounce/handoff
+/// counters. Steps write into a private outbox; the caller drains the
+/// outboxes in ascending replica order, assigning heap `seq` numbers at
+/// drain time — so serial and parallel sweeps hand out identical
+/// sequence numbers and the event loop stays deterministic.
+#[derive(Debug, Default)]
+struct StepOutbox {
+    events: Vec<(f64, EvKind)>,
+    requeued: usize,
+    handoffs: usize,
+}
+
+/// Shared view over the per-request side arrays
+/// (`requests`/`res_bytes`/`queued_since`/`was_requeued`) that replica
+/// steps index by request id.
+///
+/// Between two dispatches every request id is *owned* by at most one
+/// replica — it sits in exactly one replica's queue or running batch,
+/// or in no replica at all (in flight on the event heap). A step on
+/// replica `i` only ever touches ids replica `i` owns: its timeout
+/// scan, admission, preemption, and completion paths all index through
+/// `state.queue`/`state.running`, and a bounced or handed-off id leaves
+/// the replica in the same step that publishes its heap event, so no
+/// other replica can see it until the (serial) dispatch phase re-homes
+/// it. Concurrent replica steps therefore access disjoint elements,
+/// which is what makes the raw-pointer sharing below sound.
+struct ReqView {
+    requests: *mut Request,
+    res_bytes: *mut u64,
+    queued_since: *mut f64,
+    was_requeued: *mut bool,
+    len: usize,
+}
+
+// SAFETY: the view is only shared between scoped worker threads that
+// step *distinct* replicas, and a replica step only accesses the ids
+// that replica owns (see the type-level comment): element accesses from
+// different threads never alias. All pointees are plain `Send` data.
+unsafe impl Send for ReqView {}
+unsafe impl Sync for ReqView {}
+
+#[allow(clippy::mut_from_ref)] // interior mutability via raw pointers; disjointness argued above
+impl ReqView {
+    fn new(
+        requests: &mut [Request],
+        res_bytes: &mut [u64],
+        queued_since: &mut [f64],
+        was_requeued: &mut [bool],
+    ) -> Self {
+        let len = requests.len();
+        debug_assert!(res_bytes.len() == len && queued_since.len() == len);
+        debug_assert_eq!(was_requeued.len(), len);
+        ReqView {
+            requests: requests.as_mut_ptr(),
+            res_bytes: res_bytes.as_mut_ptr(),
+            queued_since: queued_since.as_mut_ptr(),
+            was_requeued: was_requeued.as_mut_ptr(),
+            len,
+        }
+    }
+
+    fn req(&self, id: usize) -> &Request {
+        debug_assert!(id < self.len);
+        unsafe { &*self.requests.add(id) }
+    }
+
+    fn req_mut(&self, id: usize) -> &mut Request {
+        debug_assert!(id < self.len);
+        unsafe { &mut *self.requests.add(id) }
+    }
+
+    fn res(&self, id: usize) -> u64 {
+        debug_assert!(id < self.len);
+        unsafe { *self.res_bytes.add(id) }
+    }
+
+    fn set_res(&self, id: usize, v: u64) {
+        debug_assert!(id < self.len);
+        unsafe { *self.res_bytes.add(id) = v }
+    }
+
+    fn queued_since(&self, id: usize) -> f64 {
+        debug_assert!(id < self.len);
+        unsafe { *self.queued_since.add(id) }
+    }
+
+    fn queued_since_mut(&self, id: usize) -> &mut f64 {
+        debug_assert!(id < self.len);
+        unsafe { &mut *self.queued_since.add(id) }
+    }
+
+    fn was_requeued(&self, id: usize) -> bool {
+        debug_assert!(id < self.len);
+        unsafe { *self.was_requeued.add(id) }
+    }
+
+    fn set_was_requeued(&self, id: usize, v: bool) {
+        debug_assert!(id < self.len);
+        unsafe { *self.was_requeued.add(id) = v }
     }
 }
 
@@ -529,6 +662,9 @@ impl Router {
         let decode_tier = self.decode_tier();
         let mut rr_arrival = 0usize;
         let mut rr_handoff = 0usize;
+        let step_threads = self.cfg.step_threads.max(1);
+        let mut lagging: Vec<usize> = Vec::new();
+        let mut outboxes: Vec<StepOutbox> = Vec::new();
 
         loop {
             // ---- 1. Dispatch every due event. An event is due once no
@@ -645,32 +781,108 @@ impl Router {
             // one step each (bounded by the next event time so nobody
             // races past a dispatch it should have seen).
             let limit = heap.peek().map_or(f64::INFINITY, |e| e.t);
-            let mut progressed = false;
-            for i in 0..n_replicas {
-                if states[i].busy() && states[i].t < limit {
-                    progressed = true;
+            lagging.clear();
+            lagging.extend((0..n_replicas).filter(|&i| states[i].busy() && states[i].t < limit));
+            // When nothing can step, either the fleet is drained (no
+            // events left) or every busy replica has reached the next
+            // event's time, which makes it due on the next iteration.
+            if lagging.is_empty() {
+                if heap.is_empty() {
+                    break;
+                }
+                continue;
+            }
+            // The sweep: one step per lagging replica. Steps between
+            // two dispatches are mutually independent — replica `i`
+            // touches only its own `ReplicaState` plus the request ids
+            // it currently owns (see [`ReqView`]), and publishes heap
+            // events through a private [`StepOutbox`] — so the sweep
+            // may run serially or fan out over scoped threads. Draining
+            // the outboxes in ascending replica order afterwards hands
+            // out exactly the `seq` numbers the serial loop would, so
+            // every `step_threads` value is byte-identical. Traced runs
+            // always step serially: the per-replica event emissions
+            // must interleave in the deterministic replica order.
+            if outboxes.len() < lagging.len() {
+                outboxes.resize_with(lagging.len(), StepOutbox::default);
+            }
+            let view = ReqView::new(
+                &mut requests,
+                &mut res_bytes,
+                &mut queued_since,
+                &mut was_requeued,
+            );
+            if !TRACED && step_threads > 1 && lagging.len() > 1 {
+                let workers = step_threads.min(lagging.len());
+                let per = lagging.len().div_ceil(workers);
+                let prefix_lens: &[usize] = &prefix_lens;
+                let next_turn: &[bool] = &next_turn;
+                let view = &view;
+                std::thread::scope(|scope| {
+                    let mut states_rest: &mut [ReplicaState] = &mut states;
+                    let mut ob_rest: &mut [StepOutbox] = &mut outboxes;
+                    let mut base = 0usize;
+                    for chunk in lagging.chunks(per) {
+                        // Each worker gets an exclusive `split_at_mut`
+                        // sub-slice of `states` covering its (sorted,
+                        // unique) replica indices, and the matching
+                        // outbox sub-slice — plain disjoint `&mut`s.
+                        let hi = chunk.last().expect("chunks are non-empty") + 1;
+                        let (states_part, rest) =
+                            std::mem::take(&mut states_rest).split_at_mut(hi - base);
+                        states_rest = rest;
+                        let (ob_part, rest) =
+                            std::mem::take(&mut ob_rest).split_at_mut(chunk.len());
+                        ob_rest = rest;
+                        let part_base = base;
+                        base = hi;
+                        scope.spawn(move || {
+                            // Inert per-worker sink: this branch only
+                            // runs untraced, so nothing is emitted.
+                            let mut sink = NullSink;
+                            let mut obs = ObsCtx {
+                                sink: &mut sink,
+                                reg: MetricsRegistry::new(),
+                            };
+                            for (k, &i) in chunk.iter().enumerate() {
+                                self.step_once::<false>(
+                                    i,
+                                    &mut states_part[i - part_base],
+                                    view,
+                                    prefix_lens,
+                                    next_turn,
+                                    &mut ob_part[k],
+                                    &mut obs,
+                                );
+                            }
+                        });
+                    }
+                });
+            } else {
+                for (k, &i) in lagging.iter().enumerate() {
                     self.step_once::<TRACED>(
                         i,
-                        &mut states,
-                        &mut requests,
-                        &mut res_bytes,
+                        &mut states[i],
+                        &view,
                         &prefix_lens,
                         &next_turn,
-                        &mut queued_since,
-                        &mut was_requeued,
-                        &mut requeued_total,
-                        &mut handoffs_total,
-                        &mut heap,
-                        &mut seq,
+                        &mut outboxes[k],
                         &mut obs,
                     );
                 }
             }
-            // When nothing stepped, either the fleet is drained (no
-            // events left) or every busy replica has reached the next
-            // event's time, which makes it due on the next iteration.
-            if !progressed && heap.is_empty() {
-                break;
+            // Deterministic merge: ascending replica order, `seq`
+            // assigned at drain time — identical to the serial loop's
+            // in-step pushes.
+            for ob in &mut outboxes[..lagging.len()] {
+                for (t, kind) in ob.events.drain(..) {
+                    heap.push(Ev { t, seq, kind });
+                    seq += 1;
+                }
+                requeued_total += ob.requeued;
+                ob.requeued = 0;
+                handoffs_total += ob.handoffs;
+                ob.handoffs = 0;
             }
         }
 
@@ -844,26 +1056,25 @@ impl Router {
     /// admission, pricing through [`ServeEngine::step_time`], token
     /// accounting, completion/handoff handling, and timeline sampling —
     /// the same sequence as [`ServeEngine::run`].
+    ///
+    /// Touches only `state` (replica `i`'s own) and, through `view`,
+    /// the request ids replica `i` currently owns; heap events go out
+    /// through `outbox` instead of the shared heap. That isolation is
+    /// what lets the sweep in [`Router::run_inner`] fan steps out over
+    /// threads without changing a byte of the result.
     #[allow(clippy::too_many_arguments)]
     fn step_once<const TRACED: bool>(
         &self,
         i: usize,
-        states: &mut [ReplicaState],
-        requests: &mut [Request],
-        res_bytes: &mut [u64],
+        state: &mut ReplicaState,
+        view: &ReqView,
         prefix_lens: &[usize],
         next_turn: &[bool],
-        queued_since: &mut [f64],
-        was_requeued: &mut [bool],
-        requeued_total: &mut usize,
-        handoffs_total: &mut usize,
-        heap: &mut BinaryHeap<Ev>,
-        seq: &mut u64,
+        outbox: &mut StepOutbox,
         obs: &mut ObsCtx<'_>,
     ) {
         let engine = &self.engines[i];
         let cfg = engine.config();
-        let state = &mut states[i];
         let t = state.t;
         let requeue_enabled = self.cfg.requeue_on_reject && self.engines.len() > 1;
 
@@ -873,16 +1084,16 @@ impl Router {
         let _scan = profile::timer(Phase::EventScan);
         let mut bounced: Vec<usize> = Vec::new();
         state.queue.retain(|&id| {
-            if requests[id].first_token_at.is_some() {
+            if view.req(id).first_token_at.is_some() {
                 return true;
             }
-            if t - queued_since[id] > cfg.queue_timeout_s {
-                if requeue_enabled && !was_requeued[id] {
-                    was_requeued[id] = true;
+            if t - view.queued_since(id) > cfg.queue_timeout_s {
+                if requeue_enabled && !view.was_requeued(id) {
+                    view.set_was_requeued(id, true);
                     bounced.push(id);
                 } else {
-                    let waited_s = t - queued_since[id];
-                    let req = &mut requests[id];
+                    let waited_s = t - view.queued_since(id);
+                    let req = view.req_mut(id);
                     req.state = RequestState::Rejected;
                     req.reject_reason = Some(RejectReason::QueueTimeout {
                         waited_s,
@@ -911,7 +1122,7 @@ impl Router {
             }
         });
         for id in bounced {
-            *requeued_total += 1;
+            outbox.requeued += 1;
             if TRACED {
                 obs.emit(Event {
                     t,
@@ -920,12 +1131,7 @@ impl Router {
                     kind: EventKind::Requeue { from: i },
                 });
             }
-            heap.push(Ev {
-                t,
-                seq: *seq,
-                kind: EvKind::Requeue { id, from: i },
-            });
-            *seq += 1;
+            outbox.events.push((t, EvKind::Requeue { id, from: i }));
         }
         state.peak_queue_depth = state.peak_queue_depth.max(state.queue.len());
         drop(_scan);
@@ -953,17 +1159,18 @@ impl Router {
                 break;
             }
             let default_res = |id: usize| -> u64 {
-                if requests[id].state == RequestState::Preempted {
-                    engine.requeue_reservation_bytes(&requests[id])
+                let req = view.req(id);
+                if req.state == RequestState::Preempted {
+                    engine.requeue_reservation_bytes(req)
                 } else {
-                    res_bytes[id]
+                    view.res(id)
                 }
             };
             let Some(pos) = discipline.select(
                 &state.queue,
                 state.budget - state.reserved,
                 default_res,
-                |id| t - queued_since[id],
+                |id| t - view.queued_since(id),
             ) else {
                 break;
             };
@@ -971,10 +1178,10 @@ impl Router {
             // A handed-off ingest's KV arrived whole — nothing to
             // prefill, so nothing to reuse (prefix 0 makes the shared
             // helper's probe inert while retained caches still yield).
-            let is_preempted = requests[id].state == RequestState::Preempted;
-            let is_ingest = requests[id].first_token_at.is_some() && !is_preempted;
+            let is_preempted = view.req(id).state == RequestState::Preempted;
+            let is_ingest = view.req(id).first_token_at.is_some() && !is_preempted;
             let prefix = if is_preempted {
-                requests[id].seq_len()
+                view.req(id).seq_len()
             } else if is_ingest {
                 0
             } else {
@@ -983,7 +1190,7 @@ impl Router {
             let dres = default_res(id);
             evicted_scratch.clear();
             if let Some((res, job)) = engine.admit_with_reuse(
-                &mut requests[id],
+                view.req_mut(id),
                 prefix,
                 dres,
                 state.reserved,
@@ -992,9 +1199,9 @@ impl Router {
                 &mut evicted_scratch,
             ) {
                 state.queue.remove(pos);
-                res_bytes[id] = res;
+                view.set_res(id, res);
                 state.reserved += res;
-                let req = &mut requests[id];
+                let req = view.req_mut(id);
                 if is_ingest {
                     req.state = RequestState::Decoding;
                     ingests.push(id);
@@ -1007,7 +1214,7 @@ impl Router {
                     newly.push(id);
                 }
                 if TRACED {
-                    let session = requests[id].session;
+                    let session = view.req(id).session;
                     for evd in &evicted_scratch {
                         obs.emit(Event {
                             t,
@@ -1079,7 +1286,7 @@ impl Router {
                             reserved_after: state.reserved,
                             budget: state.budget,
                             reused_prefix: job.reused_prefix,
-                            queue_wait_s: t - queued_since[id],
+                            queue_wait_s: t - view.queued_since(id),
                         },
                     });
                 }
@@ -1091,23 +1298,23 @@ impl Router {
             let patient = can_preempt
                 && discipline
                     .preemption_patience()
-                    .is_some_and(|p| t - queued_since[id] > p);
+                    .is_some_and(|p| t - view.queued_since(id) > p);
             if patient {
                 if let Some(vpos) = engine.pick_victim(
                     &state.running,
-                    requests,
-                    res_bytes,
+                    |id| view.req(id),
+                    |id| view.res(id),
                     dres,
                     state.reserved,
                     state.budget,
                 ) {
                     let vid = state.running.remove(vpos);
                     if TRACED {
-                        let cost = engine.restart_cost(&requests[vid]);
+                        let cost = engine.restart_cost(view.req(vid));
                         let decision_trace = format!(
                             "candidate {id} (res {dres} B) outwaited patience; victim {vid} \
                              books {} B > {dres} B and is cheapest to restart ({cost:.4}s)",
-                            res_bytes[vid]
+                            view.res(vid)
                         );
                         obs.emit(Event {
                             t,
@@ -1122,12 +1329,12 @@ impl Router {
                     }
                     engine.preempt_victim(
                         vid,
-                        res_bytes[vid],
-                        requests,
+                        view.res(vid),
+                        view.req_mut(vid),
                         &mut state.reserved,
                         state.budget,
                         t,
-                        queued_since,
+                        view.queued_since_mut(vid),
                         &mut state.queue,
                         &mut state.session_kv,
                     );
@@ -1147,7 +1354,7 @@ impl Router {
             .running
             .iter()
             .chain(ingests.iter())
-            .map(|&id| requests[id].seq_len())
+            .map(|&id| view.req(id).seq_len())
             .collect();
         let step_time = {
             let _price = profile::timer(Phase::Pricing);
@@ -1177,11 +1384,11 @@ impl Router {
 
         // ---- 4. Account tokens and transitions.
         for &id in state.running.iter().chain(ingests.iter()) {
-            requests[id].generated += 1;
+            view.req_mut(id).generated += 1;
         }
         let mut to_run: Vec<usize> = Vec::new();
         for &id in &newly {
-            let req = &mut requests[id];
+            let req = view.req_mut(id);
             // Re-admitted preempted requests keep their original TTFT
             // and advance their kept progress by one, like the engine.
             if req.first_token_at.is_none() {
@@ -1192,12 +1399,12 @@ impl Router {
             if state.role == Role::Prefill {
                 // Hand the prefilled KV to the decode tier (unless the
                 // single minted token already completes the request).
-                state.reserved -= res_bytes[id];
+                state.reserved -= view.res(id);
                 if req.generated >= req.output_len {
                     req.finished_at = Some(t_end);
                     req.state = RequestState::Finished;
                     if TRACED {
-                        let req = &requests[id];
+                        let req = view.req(id);
                         obs.emit(Event {
                             t: t_end,
                             replica: Some(i),
@@ -1209,7 +1416,7 @@ impl Router {
                         });
                     }
                     let stored = engine.retain_finished(
-                        &requests[id],
+                        view.req(id),
                         next_turn[id],
                         state.budget - state.reserved,
                         &mut state.session_kv,
@@ -1229,14 +1436,9 @@ impl Router {
                         }
                     }
                 } else {
-                    *handoffs_total += 1;
-                    let transfer = engine.kv_handoff_time(req.seq_len());
-                    heap.push(Ev {
-                        t: t_end + transfer,
-                        seq: *seq,
-                        kind: EvKind::Handoff(id),
-                    });
-                    *seq += 1;
+                    outbox.handoffs += 1;
+                    let transfer = engine.kv_handoff_time(view.req(id).seq_len());
+                    outbox.events.push((t_end + transfer, EvKind::Handoff(id)));
                 }
             } else {
                 to_run.push(id);
@@ -1245,13 +1447,13 @@ impl Router {
         let prior_running = std::mem::take(&mut state.running);
         let mut still_running = Vec::with_capacity(prior_running.len() + to_run.len());
         for id in prior_running.into_iter().chain(ingests).chain(to_run) {
-            if requests[id].generated >= requests[id].output_len {
-                state.reserved -= res_bytes[id];
-                let req = &mut requests[id];
+            if view.req(id).generated >= view.req(id).output_len {
+                state.reserved -= view.res(id);
+                let req = view.req_mut(id);
                 req.finished_at = Some(t_end);
                 req.state = RequestState::Finished;
                 if TRACED {
-                    let req = &requests[id];
+                    let req = view.req(id);
                     obs.emit(Event {
                         t: t_end,
                         replica: Some(i),
@@ -1268,7 +1470,7 @@ impl Router {
                 // tier, so decode-side retention stays inert — sticky
                 // unified fleets are where reuse pays.)
                 let stored = engine.retain_finished(
-                    &requests[id],
+                    view.req(id),
                     next_turn[id],
                     state.budget - state.reserved,
                     &mut state.session_kv,
@@ -1640,6 +1842,7 @@ mod tests {
             disagg: Some(DisaggCfg {
                 prefill_replicas: 1,
             }),
+            step_threads: 1,
         };
         let router = Router::new(cfg);
         let entries: Vec<crate::trace::TraceEntry> = (0..4)

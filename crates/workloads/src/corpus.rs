@@ -11,9 +11,48 @@
 //!    §III-B); these become attention heavy hitters and are what SWA's
 //!    globally-dynamic half must track.
 
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+
+/// Precomputed truncated-Zipf weight table: `weights[k] = 1/(k+1)^s`
+/// and `norm` their left-to-right sum — exactly the terms, in exactly
+/// the order, the inverse-CDF walk in [`CorpusSpec::zipf_sample`] used
+/// to recompute per draw. Rebuilding the table cost ~`cap` `powf`
+/// calls per sampled token and dominated trace generation (every
+/// `LengthModel::sample` probes a 48-token document); the cache makes
+/// it one build per distinct `(cap, exponent)` per thread, with the
+/// sampling arithmetic byte-identical (pinned by the
+/// `cached_tables_match_the_recomputed_walk` test below and the trace
+/// goldens in `tests/golden/`).
+struct ZipfTable {
+    weights: Vec<f64>,
+    norm: f64,
+}
+
+thread_local! {
+    static ZIPF_TABLES: RefCell<HashMap<(usize, u64), Rc<ZipfTable>>> =
+        RefCell::new(HashMap::new());
+}
+
+fn zipf_table(cap: usize, s: f64) -> Rc<ZipfTable> {
+    ZIPF_TABLES.with(|cache| {
+        Rc::clone(
+            cache
+                .borrow_mut()
+                .entry((cap, s.to_bits()))
+                .or_insert_with(|| {
+                    let weights: Vec<f64> = (1..=cap).map(|k| 1.0 / (k as f64).powf(s)).collect();
+                    let norm = weights.iter().sum();
+                    Rc::new(ZipfTable { weights, norm })
+                }),
+        )
+    })
+}
 
 /// The evaluation datasets of the paper, used as named presets.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -151,15 +190,16 @@ impl CorpusSpec {
         let n = self.vocab_size - lo;
         // Inverse-CDF approximation for Zipf(s): u^( -1/(s-1) ) style is
         // unstable at s ≈ 1, so use a simple cumulative walk over a
-        // capped support for determinism and correctness.
+        // capped support for determinism and correctness. The weight
+        // terms come from the thread-local [`ZipfTable`] cache; the
+        // subtract walk below replays the recomputed version exactly.
         let cap = n.min(512);
-        let s = self.zipf_exponent;
-        let norm: f64 = (1..=cap).map(|k| 1.0 / (k as f64).powf(s)).sum();
-        let mut u: f64 = rng.gen::<f64>() * norm;
-        for k in 1..=cap {
-            u -= 1.0 / (k as f64).powf(s);
+        let table = zipf_table(cap, self.zipf_exponent);
+        let mut u: f64 = rng.gen::<f64>() * table.norm;
+        for (k, &w) in table.weights.iter().enumerate() {
+            u -= w;
             if u <= 0.0 {
-                return lo + (k - 1) * n / cap;
+                return lo + k * n / cap;
             }
         }
         lo + n - 1
@@ -227,6 +267,71 @@ mod tests {
             "top-10 tokens must carry >30% of mass (Zipf), got {:.2}",
             top10 as f64 / total as f64
         );
+    }
+
+    /// Differential pin of the weight-table cache: a reference
+    /// generator that recomputes `1/k^s` and the norm inside every draw
+    /// (the pre-cache hot path, reproduced verbatim) must emit the same
+    /// token at every position of every document, for every preset —
+    /// i.e. the cache changed where the terms live, not one bit of the
+    /// sampled stream.
+    #[test]
+    fn cached_tables_match_the_recomputed_walk() {
+        fn reference_sequence(spec: &CorpusSpec, idx: usize, len: usize) -> Vec<usize> {
+            let mut rng = StdRng::seed_from_u64(spec.seed ^ (idx as u64).wrapping_mul(0x9E3779B9));
+            let topics: Vec<usize> = (0..spec.topic_anchors)
+                .map(|_| rng.gen_range(0..spec.anchor_count.max(1)))
+                .collect();
+            let mut out: Vec<usize> = Vec::with_capacity(len);
+            let front_limit = (len as f64 * spec.anchor_front_frac) as usize;
+            for pos in 0..len {
+                let u: f64 = rng.gen();
+                let p_anchor = if pos < front_limit {
+                    spec.p_anchor
+                } else {
+                    spec.p_anchor * 0.1
+                };
+                let tok = if u < p_anchor && !topics.is_empty() {
+                    topics[rng.gen_range(0..topics.len())]
+                } else if u < p_anchor + spec.p_repeat && out.len() >= 2 {
+                    let back = rng.gen_range(1..=out.len().min(4));
+                    out[out.len() - back]
+                } else {
+                    // The original per-draw recomputation.
+                    let lo = spec.anchor_count.min(spec.vocab_size - 1);
+                    let n = spec.vocab_size - lo;
+                    let cap = n.min(512);
+                    let s = spec.zipf_exponent;
+                    let norm: f64 = (1..=cap).map(|k| 1.0 / (k as f64).powf(s)).sum();
+                    let mut u: f64 = rng.gen::<f64>() * norm;
+                    let mut tok = lo + n - 1;
+                    for k in 1..=cap {
+                        u -= 1.0 / (k as f64).powf(s);
+                        if u <= 0.0 {
+                            tok = lo + (k - 1) * n / cap;
+                            break;
+                        }
+                    }
+                    tok
+                };
+                out.push(tok);
+            }
+            out
+        }
+        for dataset in Dataset::LM_ALL {
+            // Both vocabulary regimes: support wider than the 512-term
+            // cap truncation and narrower than it.
+            for (vocab, anchors) in [(4096usize, 64usize), (256, 13)] {
+                let spec = dataset.spec(vocab, anchors);
+                for idx in 0..8 {
+                    assert_eq!(
+                        spec.sequence(idx, 192),
+                        reference_sequence(&spec, idx, 192),
+                        "{dataset} vocab={vocab} doc {idx}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,214 @@
+//! Reference-vs-optimized differential harness.
+//!
+//! PR 7 flattened the simulator's hot paths — incremental top-K
+//! selection, the indexed event queue with maintained discipline order,
+//! scratch-buffer reuse — under one contract: **not a single output
+//! byte may change**. The naive implementations were kept reachable
+//! (`ServeEngine::with_reference_paths(true)` forces the linear event
+//! scan and the re-sorting discipline pick; `GlobalSetModel::pick` is
+//! the full re-sort the scheduler no longer calls), and this harness
+//! property-tests the optimized paths against them over arbitrary
+//! traces × queue disciplines × precision policies × retention on/off:
+//!
+//! * canonical `ServeReport` text byte-identical, traced and untraced;
+//! * the decision-trace JSONL event stream byte-identical;
+//! * `GlobalSetModel::pick_into` (cached bases + packed-key partial
+//!   sort) equal to `pick` (full comparator re-sort) across decode
+//!   walks that grow the range, cross drift epochs, and reuse scratch;
+//! * `TokenKvStore::partition_needed_into` into a dirty reused buffer
+//!   equal to the allocating `partition_needed`.
+//!
+//! Failures reproduce exactly: the vendored proptest seeds its RNG from
+//! the test path, so a red run here is a deterministic counterexample.
+
+use alisa::PrecisionPolicy;
+use alisa_kvcache::{Location, NeededPartition, TokenKvStore};
+use alisa_sched::{GlobalSetModel, TopKScratch};
+use alisa_serve::{
+    AdmissionPolicy, MemorySink, QueueDiscipline, RetentionCfg, ServeConfig, ServeEngine, Trace,
+    TraceEntry,
+};
+use proptest::prelude::*;
+
+/// Builds a *valid* trace from raw per-entry tuples
+/// `(gap_s, new_tokens, output_len, slot)`: arrivals accumulate the
+/// gaps (monotone by construction), and a slot below 4 threads the
+/// entry into that multi-turn session — its prompt is the session's
+/// accumulated context plus `new_tokens`, so the turn/prefix invariants
+/// `Trace::new` enforces hold for any input tuple.
+fn build_trace(raw: Vec<(f64, usize, usize, usize)>) -> Trace {
+    let mut t = 0.0;
+    // Per session slot: (next turn index, accumulated context length).
+    let mut sessions = [(0usize, 0usize); 4];
+    let entries = raw
+        .into_iter()
+        .map(|(gap, body, out, slot)| {
+            t += gap;
+            if let Some(s) = sessions.get_mut(slot) {
+                let (turn, ctx) = *s;
+                let prompt = ctx + body;
+                *s = (turn + 1, prompt + out);
+                TraceEntry::turn(t, prompt, out, slot, turn)
+            } else {
+                TraceEntry::single_shot(t, body, out)
+            }
+        })
+        .collect();
+    Trace::new(entries).expect("constructed entries satisfy every trace invariant")
+}
+
+fn trace_strategy() -> impl Strategy<Value = Trace> {
+    // Slots 0..4 are sessions, 4..7 single-shot — roughly half of each.
+    collection::vec((0.0f64..0.8, 1usize..220, 1usize..64, 0usize..7), 8..48).prop_map(build_trace)
+}
+
+fn discipline(i: usize) -> QueueDiscipline {
+    match i {
+        0 => QueueDiscipline::fcfs(),
+        1 => QueueDiscipline::sjf(),
+        2 => QueueDiscipline::best_fit(),
+        _ => QueueDiscipline::preemptive_sjf()
+            .with_aging(5.0)
+            .with_patience(0.1),
+    }
+}
+
+fn policy(i: usize) -> AdmissionPolicy {
+    match i {
+        0 => AdmissionPolicy::alisa(),
+        1 => AdmissionPolicy::alisa_mixed(),
+        2 => AdmissionPolicy::alisa_with(PrecisionPolicy::int8()),
+        3 => AdmissionPolicy::vllm(),
+        _ => AdmissionPolicy::flexgen(),
+    }
+}
+
+fn config(disc: usize, pol: usize, retention: bool, timeout: bool) -> ServeConfig {
+    let mut cfg = ServeConfig::new(
+        alisa_model::ModelConfig::opt_6_7b(),
+        alisa_memsim::HardwareSpec::v100_16gb(),
+        policy(pol),
+    )
+    .with_discipline(discipline(disc));
+    if retention {
+        cfg = cfg.with_session_reuse(RetentionCfg::half());
+    }
+    if timeout {
+        cfg = cfg.with_queue_timeout(1.5);
+    }
+    cfg
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The core differential property: for an arbitrary valid trace and
+    /// any (discipline × precision policy × retention × timeout)
+    /// configuration, the engine with reference paths forced on and the
+    /// optimized engine produce byte-identical canonical reports and
+    /// byte-identical decision-trace streams — both the untraced
+    /// (`run`) and traced (`run_traced`) monomorphizations.
+    #[test]
+    fn optimized_engine_matches_reference_byte_for_byte(
+        trace in trace_strategy(),
+        disc in 0usize..4,
+        pol in 0usize..5,
+        retention in 0usize..2,
+        timeout in 0usize..2,
+    ) {
+        let cfg = config(disc, pol, retention == 1, timeout == 1);
+        let optimized = ServeEngine::new(cfg.clone());
+        let reference = ServeEngine::new(cfg).with_reference_paths(true);
+        let ctx = format!(
+            "disc={} policy={} retention={retention} timeout={timeout} n={}",
+            discipline(disc).name(),
+            policy(pol).name(),
+            trace.len(),
+        );
+
+        let plain_ref = reference.run(&trace);
+        let plain_opt = optimized.run(&trace);
+        prop_assert_eq!(
+            plain_ref.canonical_text().into_bytes(),
+            plain_opt.canonical_text().into_bytes(),
+            "untraced canonical report diverged: {}",
+            &ctx
+        );
+
+        let mut sink_ref = MemorySink::new();
+        let mut sink_opt = MemorySink::new();
+        let traced_ref = reference.run_traced(&trace, &mut sink_ref);
+        let traced_opt = optimized.run_traced(&trace, &mut sink_opt);
+        prop_assert_eq!(
+            sink_ref.to_jsonl().into_bytes(),
+            sink_opt.to_jsonl().into_bytes(),
+            "event stream diverged: {}",
+            &ctx
+        );
+        prop_assert_eq!(
+            traced_ref.canonical_text().into_bytes(),
+            traced_opt.canonical_text().into_bytes(),
+            "traced canonical report diverged: {}",
+            &ctx
+        );
+        prop_assert_eq!(traced_ref, traced_opt, "report structs diverged: {}", &ctx);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `pick_into`'s cached score bases and packed-key partial sort
+    /// reproduce the reference comparator exactly — walked like the
+    /// scheduler walks it: one persistent scratch across a growing
+    /// decode range, stepping through drift-epoch boundaries (the
+    /// default epoch is 32 steps), with `k` free to exceed the range.
+    #[test]
+    fn pick_into_matches_pick_across_decode_walks(
+        seed in 0u64..(1 << 60),
+        start in 1usize..257,
+        steps in 1usize..48,
+        k in 0usize..129,
+    ) {
+        let model = GlobalSetModel::new(seed);
+        let mut scratch = TopKScratch::default();
+        let mut out = Vec::new();
+        for j in 0..steps {
+            let seq_len = start + j;
+            let range_end = seq_len - 1;
+            model.pick_into(k, range_end, j, seq_len, &mut scratch, &mut out);
+            prop_assert_eq!(
+                &out,
+                &model.pick(k, range_end, j, seq_len),
+                "seed={} j={} k={} range_end={}",
+                seed,
+                j,
+                k,
+                range_end
+            );
+        }
+    }
+
+    /// Reusing a dirty `NeededPartition` buffer yields exactly what the
+    /// allocating variant yields, for arbitrary placements and needed
+    /// sets (including out-of-range indices, which land in `missing`).
+    #[test]
+    fn partition_needed_into_matches_allocating_variant(
+        locations in collection::vec(0usize..3, 0..96),
+        needed in collection::vec(0usize..128, 0..64),
+    ) {
+        let mut store = TokenKvStore::new(1024);
+        for l in locations {
+            store.append(match l {
+                0 => Location::Gpu,
+                1 => Location::Cpu,
+                _ => Location::Deleted,
+            });
+        }
+        // Dirty the reused buffer first so stale contents would show.
+        let mut reused = NeededPartition::default();
+        store.partition_needed_into(&[0, 1, 2, 3, 999], &mut reused);
+        store.partition_needed_into(&needed, &mut reused);
+        prop_assert_eq!(reused, store.partition_needed(&needed));
+    }
+}

@@ -2,8 +2,13 @@
 //! mode. This keeps the full experiment harness from rotting.
 
 use std::process::Command;
+use std::time::{Duration, Instant};
 
-fn run_quick(bin: &str) {
+/// Runs `<bin> --quick`, asserting success, and returns the child's
+/// wall-clock time (including any incremental `cargo run` rebuild, so
+/// callers that budget it must warm the target dir first).
+fn run_quick(bin: &str) -> Duration {
+    let started = Instant::now();
     let out = Command::new(env!("CARGO"))
         .args([
             "run",
@@ -28,6 +33,7 @@ fn run_quick(bin: &str) {
         stdout.contains("===") || stdout.contains("paper"),
         "{bin} produced no output"
     );
+    started.elapsed()
 }
 
 // Fast binaries run in one combined test to amortize the cargo lock;
@@ -77,9 +83,22 @@ fn fig12_breakdown_runs() {
     run_quick("fig12_inference_breakdown");
 }
 
+/// The fig13 quick sweep doubles as the wall-clock tripwire for the
+/// serving hot loop: a super-linear regression in the event queue,
+/// discipline scan, or top-K selection inflates it far past this
+/// (deliberately generous) budget long before any unit bench notices.
+/// The first run warms the target dir so `cargo run`'s incremental
+/// rebuild never counts against the budget; the second run is timed.
 #[test]
-fn fig13_online_serving_runs() {
+fn fig13_online_serving_runs_within_budget() {
+    const BUDGET: Duration = Duration::from_secs(240);
     run_quick("fig13_online_serving");
+    let elapsed = run_quick("fig13_online_serving");
+    assert!(
+        elapsed < BUDGET,
+        "fig13 --quick took {elapsed:?}, over the {BUDGET:?} smoke budget — \
+         a serving hot path has likely gone super-linear"
+    );
 }
 
 #[test]
