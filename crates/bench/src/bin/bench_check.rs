@@ -29,10 +29,11 @@ use std::path::{Path, PathBuf};
 use std::process::Command;
 
 /// The hot-path suites the gate watches (scheduler inner loop, serving
-/// event loop, session reuse). `kernels`/`quant` measure the numeric
-/// kernels, which this gate's callers don't touch — run them directly
-/// when that's what you changed.
-const SUITES: [&str; 3] = ["schedulers", "serving", "sessions"];
+/// event loop, session reuse, fleet dispatch + sweep harness).
+/// `kernels`/`quant` measure the numeric kernels, which this gate's
+/// callers don't touch — run them directly when that's what you
+/// changed.
+const SUITES: [&str; 4] = ["schedulers", "serving", "sessions", "router"];
 
 /// Multiplicative headroom before a slower measurement fails the gate.
 const TOLERANCE: f64 = 1.25;

@@ -92,5 +92,5 @@ pub use discipline::{DisciplineStats, QueueDiscipline, QueueOrder, QueuePick};
 pub use engine::{derived_slo, ClosedLoopCfg, PrefillJob, RetentionCfg, ServeConfig, ServeEngine};
 pub use metrics::{LatencyStats, ServeReport, ServeSample, SloSpec};
 pub use request::{RejectReason, Request, RequestState};
-pub use router::{DisaggCfg, LoadBalancePolicy, Router, RouterConfig, RouterReport};
+pub use router::{DisaggCfg, DispatchIndex, LoadBalancePolicy, Router, RouterConfig, RouterReport};
 pub use trace::{SessionRef, Trace, TraceEntry, TraceError};

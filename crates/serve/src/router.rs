@@ -58,7 +58,7 @@
 //! ```
 
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::{BTreeSet, BinaryHeap, VecDeque};
 
 use alisa_kvcache::{RetainedSession, ReuseStats, SessionKvCache};
 use alisa_obs::profile::{self, Phase};
@@ -346,6 +346,167 @@ struct StepOutbox {
     events: Vec<(f64, EvKind)>,
     requeued: usize,
     handoffs: usize,
+    /// Per-worker step scratch, reused across sweeps (mirroring the
+    /// engine's `TopKScratch` idiom) so a replica step allocates
+    /// nothing once the buffers have grown to steady state.
+    scratch: StepScratch,
+}
+
+/// Reusable buffers for one replica step: admission staging, pricing
+/// input, and the running-batch rebuild. Contents are cleared before
+/// every use, so reuse can never leak state between steps or replicas.
+#[derive(Debug, Default)]
+struct StepScratch {
+    bounced: Vec<usize>,
+    newly: Vec<usize>,
+    new_jobs: Vec<PrefillJob>,
+    ingests: Vec<usize>,
+    evicted: Vec<RetainedSession>,
+    running_lens: Vec<usize>,
+    to_run: Vec<usize>,
+    still_running: Vec<usize>,
+}
+
+/// Incrementally-maintained replica-selection indexes — the fleet
+/// dispatch hot path at scale.
+///
+/// The reference dispatch is a linear scan: `LeastOutstanding` and
+/// `LeastKvPressure` walk every replica in the tier per request, which
+/// is O(replicas) per dispatch and dominates routing cost once fleets
+/// reach the hundreds. This structure keeps one ordered index per tier
+/// and load signal instead:
+///
+/// * **outstanding** — `(queued + running, replica)` pairs in a
+///   [`BTreeSet`], so the least-loaded replica is the first element;
+/// * **KV pressure** — `(pressure.to_bits(), replica)` pairs. Pressure
+///   is `reserved / budget ∈ [0, ∞)`; for non-negative finite IEEE-754
+///   doubles the raw bit pattern orders exactly like
+///   [`f64::total_cmp`], so the u64 key reproduces the reference
+///   comparator's total order bit-for-bit (the same trick the
+///   scheduler's packed top-K keys use).
+///
+/// Ties break to the lowest replica index in both orders — identical
+/// to the reference `min_by`/`min_by_key` scans, which is what makes
+/// the indexed router byte-identical to the linear one (pinned by
+/// `tests/differential.rs`). Updates are O(log replicas): the router
+/// refreshes a replica's keys whenever its load signals can have moved
+/// (on enqueue, and after each step sweep).
+///
+/// Disaggregated fleets get the tier filter baked in: each replica
+/// belongs to exactly one tier (prefill = 0, decode = 1; unified fleets
+/// are all tier 0), so a tier-restricted pick never scans or skips
+/// foreign replicas.
+#[derive(Debug, Clone, Default)]
+pub struct DispatchIndex {
+    /// Tier of each replica.
+    tier_of: Vec<usize>,
+    /// Per tier: replicas ordered by `(outstanding, index)`. Empty and
+    /// unmaintained unless `track_outstanding`.
+    by_outstanding: Vec<BTreeSet<(usize, usize)>>,
+    /// Per tier: replicas ordered by `(kv-pressure bits, index)`. Empty
+    /// and unmaintained unless `track_pressure`.
+    by_pressure: Vec<BTreeSet<(u64, usize)>>,
+    /// Per replica: the `(outstanding, pressure-bits)` keys currently
+    /// in the sets, so an update can remove them without a search.
+    keys: Vec<(usize, u64)>,
+    /// Whether the outstanding order is maintained.
+    track_outstanding: bool,
+    /// Whether the KV-pressure order is maintained.
+    track_pressure: bool,
+}
+
+impl DispatchIndex {
+    /// Builds an index over `tier_of.len()` replicas partitioned into
+    /// `tiers` tiers, maintaining only the orders asked for (an unused
+    /// order would cost two B-tree operations per update for nothing).
+    /// Every replica starts with key `(0, 0.0)`; call
+    /// [`DispatchIndex::update`] to seed real signals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any entry of `tier_of` is `>= tiers`.
+    pub fn new(tier_of: Vec<usize>, tiers: usize, outstanding: bool, pressure: bool) -> Self {
+        assert!(tier_of.iter().all(|&t| t < tiers), "tier out of range");
+        let n = tier_of.len();
+        let mut idx = DispatchIndex {
+            tier_of,
+            by_outstanding: vec![BTreeSet::new(); tiers],
+            by_pressure: vec![BTreeSet::new(); tiers],
+            keys: vec![(0, 0); n],
+            track_outstanding: outstanding,
+            track_pressure: pressure,
+        };
+        for i in 0..n {
+            let tier = idx.tier_of[i];
+            if idx.track_outstanding {
+                idx.by_outstanding[tier].insert((0, i));
+            }
+            if idx.track_pressure {
+                idx.by_pressure[tier].insert((0, i));
+            }
+        }
+        idx
+    }
+
+    /// Re-keys `replica` to the given load signals. `pressure` must be
+    /// non-negative (KV occupancy is), so its bit pattern is order-
+    /// preserving. O(log replicas) per maintained order.
+    pub fn update(&mut self, replica: usize, outstanding: usize, pressure: f64) {
+        debug_assert!(pressure >= 0.0, "negative pressure breaks bit ordering");
+        let tier = self.tier_of[replica];
+        let (old_out, old_kv) = self.keys[replica];
+        let kv = pressure.to_bits();
+        if self.track_outstanding && old_out != outstanding {
+            self.by_outstanding[tier].remove(&(old_out, replica));
+            self.by_outstanding[tier].insert((outstanding, replica));
+        }
+        if self.track_pressure && old_kv != kv {
+            self.by_pressure[tier].remove(&(old_kv, replica));
+            self.by_pressure[tier].insert((kv, replica));
+        }
+        self.keys[replica] = (outstanding, kv);
+    }
+
+    /// The tier-`tier` replica with the fewest outstanding requests
+    /// among those `ok` admits (ties to the lowest index), or `None`
+    /// if no replica qualifies. With an all-admitting filter this is
+    /// one leftmost B-tree descent — O(log replicas).
+    pub fn least_outstanding(
+        &self,
+        tier: usize,
+        mut ok: impl FnMut(usize) -> bool,
+    ) -> Option<usize> {
+        debug_assert!(self.track_outstanding);
+        self.by_outstanding[tier]
+            .iter()
+            .map(|&(_, i)| i)
+            .find(|&i| ok(i))
+    }
+
+    /// The tier-`tier` replica with the lowest KV pressure among those
+    /// `ok` admits (ties to the lowest index), or `None` if no replica
+    /// qualifies.
+    pub fn least_kv_pressure(
+        &self,
+        tier: usize,
+        mut ok: impl FnMut(usize) -> bool,
+    ) -> Option<usize> {
+        debug_assert!(self.track_pressure);
+        self.by_pressure[tier]
+            .iter()
+            .map(|&(_, i)| i)
+            .find(|&i| ok(i))
+    }
+}
+
+/// Reusable buffers for the serial dispatch phase: the eligible /
+/// feasible candidate lists the reference selection (and the
+/// round-robin/sticky handoff pick) materializes. Owned by the run so
+/// no dispatch allocates.
+#[derive(Debug, Default)]
+struct DispatchScratch {
+    eligible: Vec<usize>,
+    feasible: Vec<usize>,
 }
 
 /// Shared view over the per-request side arrays
@@ -519,6 +680,7 @@ impl ReplicaState {
 pub struct Router {
     cfg: RouterConfig,
     engines: Vec<ServeEngine>,
+    reference_paths: bool,
 }
 
 impl Router {
@@ -546,7 +708,23 @@ impl Router {
             );
         }
         let engines = cfg.replicas.iter().cloned().map(ServeEngine::new).collect();
-        Router { cfg, engines }
+        Router {
+            cfg,
+            engines,
+            reference_paths: false,
+        }
+    }
+
+    /// Forces the naive reference dispatch: per-request linear
+    /// `min_by`/`min_by_key` scans over the tier instead of the
+    /// incrementally-maintained [`DispatchIndex`]. Reports and event
+    /// streams must be byte-identical either way — this switch exists
+    /// so `tests/differential.rs` and `benches/router.rs` can prove
+    /// and price exactly that.
+    #[doc(hidden)]
+    pub fn with_reference_paths(mut self, on: bool) -> Self {
+        self.reference_paths = on;
+        self
     }
 
     /// The fleet configuration.
@@ -666,6 +844,38 @@ impl Router {
         let mut lagging: Vec<usize> = Vec::new();
         let mut outboxes: Vec<StepOutbox> = Vec::new();
 
+        // The dispatch index: maintained for the two load signals the
+        // reference selection scans linearly. Round-robin and sticky
+        // picks are already O(1); `with_reference_paths(true)` drops
+        // the index so the linear scans stay reachable for the
+        // differential harness.
+        let mut index: Option<DispatchIndex> = if self.reference_paths {
+            None
+        } else {
+            let tier_of: Vec<usize> = match disagg {
+                Some(d) => (0..n_replicas)
+                    .map(|i| usize::from(i >= d.prefill_replicas))
+                    .collect(),
+                None => vec![0; n_replicas],
+            };
+            let tiers = if disagg.is_some() { 2 } else { 1 };
+            match self.cfg.lb {
+                LoadBalancePolicy::LeastOutstanding => {
+                    Some(DispatchIndex::new(tier_of, tiers, true, false))
+                }
+                LoadBalancePolicy::LeastKvPressure => {
+                    Some(DispatchIndex::new(tier_of, tiers, false, true))
+                }
+                _ => None,
+            }
+        };
+        if let Some(ix) = index.as_mut() {
+            for s in &states {
+                ix.update(s.idx, s.outstanding(), s.kv_pressure());
+            }
+        }
+        let mut dispatch_scratch = DispatchScratch::default();
+
         loop {
             // ---- 1. Dispatch every due event. An event is due once no
             // busy replica's clock is still behind it (idle replicas
@@ -706,6 +916,8 @@ impl Router {
                                 &mut res_bytes,
                                 &mut queued_since,
                                 &mut rr_arrival,
+                                &mut index,
+                                &mut dispatch_scratch,
                                 &mut obs,
                             );
                         }
@@ -722,6 +934,8 @@ impl Router {
                                 &mut res_bytes,
                                 &mut queued_since,
                                 &mut rr_arrival,
+                                &mut index,
+                                &mut dispatch_scratch,
                                 &mut obs,
                             );
                         }
@@ -735,17 +949,35 @@ impl Router {
                             // replica could hold it, and budgets are
                             // static.
                             let req = &requests[id];
-                            let feasible: Vec<usize> = decode_tier
-                                .iter()
-                                .copied()
-                                .filter(|&i| {
-                                    self.engines[i]
-                                        .decode_reservation_bytes(req.prompt_len, req.output_len)
-                                        <= states[i].budget
-                                })
-                                .collect();
+                            let fits_decode = |i: usize| {
+                                self.engines[i]
+                                    .decode_reservation_bytes(req.prompt_len, req.output_len)
+                                    <= states[i].budget
+                            };
                             let key = req.session.map_or(id, |s| s.session_id);
-                            let target = self.pick(&feasible, &states, key, &mut rr_handoff);
+                            let target = match index.as_ref() {
+                                // Indexed: walk the decode-tier order
+                                // ascending; the first feasible replica
+                                // is the reference scan's minimum.
+                                Some(ix) => match self.cfg.lb {
+                                    LoadBalancePolicy::LeastOutstanding => {
+                                        ix.least_outstanding(1, fits_decode)
+                                    }
+                                    LoadBalancePolicy::LeastKvPressure => {
+                                        ix.least_kv_pressure(1, fits_decode)
+                                    }
+                                    _ => unreachable!("index implies a least-* policy"),
+                                }
+                                .expect("dispatch admitted only decodable requests"),
+                                None => {
+                                    let feasible = &mut dispatch_scratch.feasible;
+                                    feasible.clear();
+                                    feasible.extend(
+                                        decode_tier.iter().copied().filter(|&i| fits_decode(i)),
+                                    );
+                                    self.pick(feasible, &states, key, &mut rr_handoff)
+                                }
+                            };
                             res_bytes[id] = self.engines[target]
                                 .decode_reservation_bytes(req.prompt_len, req.output_len);
                             if TRACED {
@@ -771,6 +1003,10 @@ impl Router {
                             owner[id] = Some(target);
                             queued_since[id] = ev.t;
                             states[target].enqueue(id, ev.t);
+                            if let Some(ix) = index.as_mut() {
+                                let s = &states[target];
+                                ix.update(target, s.outstanding(), s.kv_pressure());
+                            }
                         }
                     }
                     continue;
@@ -884,6 +1120,15 @@ impl Router {
                 handoffs_total += ob.handoffs;
                 ob.handoffs = 0;
             }
+            // Re-key the stepped replicas: a step can move both load
+            // signals (admission, completion, preemption, timeouts).
+            // Dispatches only ever read the index in the serial phase
+            // above, so refreshing here keeps it exact.
+            if let Some(ix) = index.as_mut() {
+                for &i in &lagging {
+                    ix.update(i, states[i].outstanding(), states[i].kv_pressure());
+                }
+            }
         }
 
         let mut report = self.build_report(
@@ -935,6 +1180,50 @@ impl Router {
         }
     }
 
+    /// Round-robin / sticky selection over the contiguous `tier` with
+    /// `exclude` skipped, without materializing the eligible list: the
+    /// k-th eligible replica of `[lo, hi)` minus the excluded index is
+    /// `lo + k`, shifted up by one when it lands on or beyond the
+    /// exclusion. Returns `None` when nothing is eligible. Increments
+    /// `rr` exactly when the reference pick would (a successful
+    /// round-robin selection), so the two paths stay byte-identical.
+    fn pick_cyclic(
+        &self,
+        tier: &[usize],
+        exclude: Option<usize>,
+        key: usize,
+        rr: &mut usize,
+    ) -> Option<usize> {
+        let lo = *tier.first()?;
+        let hi = lo + tier.len();
+        debug_assert!(
+            tier.windows(2).all(|w| w[1] == w[0] + 1),
+            "tiers are contiguous index ranges"
+        );
+        let excl = exclude.filter(|e| (lo..hi).contains(e));
+        let len = tier.len() - usize::from(excl.is_some());
+        if len == 0 {
+            return None;
+        }
+        let k = match self.cfg.lb {
+            LoadBalancePolicy::RoundRobin => {
+                let k = *rr % len;
+                *rr += 1;
+                k
+            }
+            LoadBalancePolicy::Sticky { sessions } => {
+                let session = (key % sessions) as u64;
+                (mix64(session) % len as u64) as usize
+            }
+            _ => unreachable!("cyclic pick is only for round-robin/sticky"),
+        };
+        let cand = lo + k;
+        Some(match excl {
+            Some(e) if cand >= e => cand + 1,
+            _ => cand,
+        })
+    }
+
     /// Routes one fresh arrival (or a re-queued bounce, with the
     /// bouncing replica excluded) to a replica, or rejects it as
     /// infeasible if no eligible replica can ever hold it.
@@ -952,6 +1241,8 @@ impl Router {
         res_bytes: &mut [u64],
         queued_since: &mut [f64],
         rr: &mut usize,
+        index: &mut Option<DispatchIndex>,
+        scratch: &mut DispatchScratch,
         obs: &mut ObsCtx<'_>,
     ) -> bool {
         let req_prompt = requests[id].prompt_len;
@@ -993,19 +1284,40 @@ impl Router {
             }
         }
 
-        let eligible: Vec<usize> = tier
-            .iter()
-            .copied()
-            .filter(|&i| Some(i) != exclude)
-            .collect();
-        if eligible.is_empty() {
+        let key = requests[id].session.map_or(id, |s| s.session_id);
+        // Replica selection. Indexed least-outstanding / least-KV is
+        // one ordered-set descent; round-robin and sticky compute the
+        // k-th eligible replica arithmetically over the contiguous
+        // tier; the reference path materializes the eligible list and
+        // scans it, exactly as before the index existed.
+        let picked: Option<usize> = if let Some(ix) = index.as_ref() {
+            match self.cfg.lb {
+                LoadBalancePolicy::LeastOutstanding => {
+                    ix.least_outstanding(0, |i| Some(i) != exclude)
+                }
+                LoadBalancePolicy::LeastKvPressure => {
+                    ix.least_kv_pressure(0, |i| Some(i) != exclude)
+                }
+                _ => unreachable!("index implies a least-* policy"),
+            }
+        } else if !self.reference_paths {
+            self.pick_cyclic(tier, exclude, key, rr)
+        } else {
+            let eligible = &mut scratch.eligible;
+            eligible.clear();
+            eligible.extend(tier.iter().copied().filter(|&i| Some(i) != exclude));
+            if eligible.is_empty() {
+                None
+            } else {
+                Some(self.pick(eligible, states, key, rr))
+            }
+        };
+        let Some(first) = picked else {
             reject(requests, obs, &|| {
                 format!("no eligible replica left (bouncer {exclude:?} excluded)")
             });
             return false;
-        }
-        let key = requests[id].session.map_or(id, |s| s.session_id);
-        let first = self.pick(&eligible, states, key, rr);
+        };
         let fits = |i: usize| {
             self.engines[i].reservation_bytes(req_prompt, req_output) <= states[i].budget
         };
@@ -1013,8 +1325,11 @@ impl Router {
             Some(first)
         } else if self.cfg.requeue_on_reject {
             // The picked replica can never hold it; fall back to the
-            // first other eligible replica that can.
-            eligible.iter().copied().find(|&i| i != first && fits(i))
+            // first other eligible replica that can (ascending tier
+            // order — the same order the reference eligible list had).
+            tier.iter()
+                .copied()
+                .find(|&i| Some(i) != exclude && i != first && fits(i))
         } else {
             None
         };
@@ -1024,6 +1339,10 @@ impl Router {
                 owner[id] = Some(i);
                 queued_since[id] = at;
                 states[i].enqueue(id, at);
+                if let Some(ix) = index.as_mut() {
+                    let s = &states[i];
+                    ix.update(i, s.outstanding(), s.kv_pressure());
+                }
                 if TRACED {
                     obs.emit(Event {
                         t: at,
@@ -1078,11 +1397,31 @@ impl Router {
         let t = state.t;
         let requeue_enabled = self.cfg.requeue_on_reject && self.engines.len() > 1;
 
+        // Split the outbox into disjoint field borrows so the step can
+        // publish events and reuse scratch buffers simultaneously. All
+        // scratch contents are cleared at their point of use.
+        let StepOutbox {
+            events,
+            requeued,
+            handoffs,
+            scratch,
+        } = outbox;
+        let StepScratch {
+            bounced,
+            newly,
+            new_jobs,
+            ingests,
+            evicted,
+            running_lens,
+            to_run,
+            still_running,
+        } = scratch;
+
         // ---- 1. Bounce timed-out queued requests. Handed-off requests
         // (first token already emitted on the prefill tier) are exempt:
         // they are in service, not waiting for it.
         let _scan = profile::timer(Phase::EventScan);
-        let mut bounced: Vec<usize> = Vec::new();
+        bounced.clear();
         state.queue.retain(|&id| {
             if view.req(id).first_token_at.is_some() {
                 return true;
@@ -1121,8 +1460,8 @@ impl Router {
                 true
             }
         });
-        for id in bounced {
-            outbox.requeued += 1;
+        for &id in bounced.iter() {
+            *requeued += 1;
             if TRACED {
                 obs.emit(Event {
                     t,
@@ -1131,7 +1470,7 @@ impl Router {
                     kind: EventKind::Requeue { from: i },
                 });
             }
-            outbox.events.push((t, EvKind::Requeue { id, from: i }));
+            events.push((t, EvKind::Requeue { id, from: i }));
         }
         state.peak_queue_depth = state.peak_queue_depth.max(state.queue.len());
         drop(_scan);
@@ -1149,10 +1488,9 @@ impl Router {
         // disaggregated tiers never evict.
         let discipline = cfg.discipline;
         let can_preempt = state.role == Role::Unified;
-        let mut newly: Vec<usize> = Vec::new();
-        let mut new_jobs: Vec<PrefillJob> = Vec::new();
-        let mut ingests: Vec<usize> = Vec::new();
-        let mut evicted_scratch: Vec<RetainedSession> = Vec::new();
+        newly.clear();
+        new_jobs.clear();
+        ingests.clear();
         let _order = profile::timer(Phase::Discipline);
         loop {
             if state.running.len() + newly.len() + ingests.len() >= cfg.max_batch {
@@ -1188,7 +1526,7 @@ impl Router {
                 prefix_lens[id]
             };
             let dres = default_res(id);
-            evicted_scratch.clear();
+            evicted.clear();
             if let Some((res, job)) = engine.admit_with_reuse(
                 view.req_mut(id),
                 prefix,
@@ -1196,7 +1534,7 @@ impl Router {
                 state.reserved,
                 state.budget,
                 &mut state.session_kv,
-                &mut evicted_scratch,
+                evicted,
             ) {
                 state.queue.remove(pos);
                 view.set_res(id, res);
@@ -1215,7 +1553,7 @@ impl Router {
                 }
                 if TRACED {
                     let session = view.req(id).session;
-                    for evd in &evicted_scratch {
+                    for evd in evicted.iter() {
                         obs.emit(Event {
                             t,
                             replica: Some(i),
@@ -1350,15 +1688,17 @@ impl Router {
         }
 
         // ---- 3. Price the step through the shared cost path.
-        let running_lens: Vec<usize> = state
-            .running
-            .iter()
-            .chain(ingests.iter())
-            .map(|&id| view.req(id).seq_len())
-            .collect();
+        running_lens.clear();
+        running_lens.extend(
+            state
+                .running
+                .iter()
+                .chain(ingests.iter())
+                .map(|&id| view.req(id).seq_len()),
+        );
         let step_time = {
             let _price = profile::timer(Phase::Pricing);
-            engine.step_time_sessions(&new_jobs, &running_lens)
+            engine.step_time_sessions(new_jobs, running_lens)
         };
         let batch = running_lens.len() + new_jobs.len();
         if TRACED {
@@ -1386,8 +1726,8 @@ impl Router {
         for &id in state.running.iter().chain(ingests.iter()) {
             view.req_mut(id).generated += 1;
         }
-        let mut to_run: Vec<usize> = Vec::new();
-        for &id in &newly {
+        to_run.clear();
+        for &id in newly.iter() {
             let req = view.req_mut(id);
             // Re-admitted preempted requests keep their original TTFT
             // and advance their kept progress by one, like the engine.
@@ -1436,17 +1776,25 @@ impl Router {
                         }
                     }
                 } else {
-                    outbox.handoffs += 1;
+                    *handoffs += 1;
                     let transfer = engine.kv_handoff_time(view.req(id).seq_len());
-                    outbox.events.push((t_end + transfer, EvKind::Handoff(id)));
+                    events.push((t_end + transfer, EvKind::Handoff(id)));
                 }
             } else {
                 to_run.push(id);
             }
         }
-        let prior_running = std::mem::take(&mut state.running);
-        let mut still_running = Vec::with_capacity(prior_running.len() + to_run.len());
-        for id in prior_running.into_iter().chain(ingests).chain(to_run) {
+        // Rebuild the running batch in place: swap the prior batch into
+        // the scratch buffer, then refill `state.running` with the
+        // survivors (prior running, then ingests, then fresh prefills —
+        // the same order the allocating rebuild produced).
+        std::mem::swap(&mut state.running, still_running);
+        state.running.clear();
+        for id in still_running
+            .drain(..)
+            .chain(ingests.drain(..))
+            .chain(to_run.drain(..))
+        {
             if view.req(id).generated >= view.req(id).output_len {
                 state.reserved -= view.res(id);
                 let req = view.req_mut(id);
@@ -1490,10 +1838,9 @@ impl Router {
                     }
                 }
             } else {
-                still_running.push(id);
+                state.running.push(id);
             }
         }
-        state.running = still_running;
 
         // ---- 5. Sample the timeline through the engine's shared
         // decimation recorder (first and last sample always survive).

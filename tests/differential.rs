@@ -25,8 +25,8 @@ use alisa::PrecisionPolicy;
 use alisa_kvcache::{Location, NeededPartition, TokenKvStore};
 use alisa_sched::{GlobalSetModel, TopKScratch};
 use alisa_serve::{
-    AdmissionPolicy, MemorySink, QueueDiscipline, RetentionCfg, ServeConfig, ServeEngine, Trace,
-    TraceEntry,
+    AdmissionPolicy, LoadBalancePolicy, MemorySink, QueueDiscipline, RetentionCfg, Router,
+    RouterConfig, ServeConfig, ServeEngine, Trace, TraceEntry,
 };
 use proptest::prelude::*;
 
@@ -123,6 +123,83 @@ proptest! {
             "disc={} policy={} retention={retention} timeout={timeout} n={}",
             discipline(disc).name(),
             policy(pol).name(),
+            trace.len(),
+        );
+
+        let plain_ref = reference.run(&trace);
+        let plain_opt = optimized.run(&trace);
+        prop_assert_eq!(
+            plain_ref.canonical_text().into_bytes(),
+            plain_opt.canonical_text().into_bytes(),
+            "untraced canonical report diverged: {}",
+            &ctx
+        );
+
+        let mut sink_ref = MemorySink::new();
+        let mut sink_opt = MemorySink::new();
+        let traced_ref = reference.run_traced(&trace, &mut sink_ref);
+        let traced_opt = optimized.run_traced(&trace, &mut sink_opt);
+        prop_assert_eq!(
+            sink_ref.to_jsonl().into_bytes(),
+            sink_opt.to_jsonl().into_bytes(),
+            "event stream diverged: {}",
+            &ctx
+        );
+        prop_assert_eq!(
+            traced_ref.canonical_text().into_bytes(),
+            traced_opt.canonical_text().into_bytes(),
+            "traced canonical report diverged: {}",
+            &ctx
+        );
+        prop_assert_eq!(traced_ref, traced_opt, "report structs diverged: {}", &ctx);
+    }
+}
+
+fn lb_policy(i: usize) -> LoadBalancePolicy {
+    match i {
+        0 => LoadBalancePolicy::RoundRobin,
+        1 => LoadBalancePolicy::LeastOutstanding,
+        2 => LoadBalancePolicy::LeastKvPressure,
+        _ => LoadBalancePolicy::Sticky { sessions: 8 },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// PR 8's fleet-dispatch analogue of the engine property above: the
+    /// router with indexed replica selection (per-tier
+    /// `DispatchIndex` orderings, allocation-free dispatch scratch) and
+    /// the router with `with_reference_paths(true)` — per-dispatch
+    /// linear `min_by`/`min_by_key` scans and freshly allocated
+    /// candidate lists — produce byte-identical canonical reports and
+    /// byte-identical decision-trace streams, across arbitrary traces ×
+    /// all four load-balance policies × unified/disaggregated tiers ×
+    /// requeue on/off × step-thread counts.
+    #[test]
+    fn indexed_router_matches_reference_byte_for_byte(
+        trace in trace_strategy(),
+        lb in 0usize..4,
+        replicas in 2usize..5,
+        disagg in 0usize..2,
+        requeue in 0usize..2,
+        threads in 1usize..4,
+    ) {
+        let base = config(1, 0, true, true);
+        let mut cfg = RouterConfig::homogeneous(base, replicas)
+            .with_lb(lb_policy(lb))
+            .with_step_threads(threads);
+        if requeue == 1 {
+            cfg = cfg.with_requeue();
+        }
+        if disagg == 1 {
+            cfg = cfg.with_disagg(1);
+        }
+        let optimized = Router::new(cfg.clone());
+        let reference = Router::new(cfg).with_reference_paths(true);
+        let ctx = format!(
+            "lb={} replicas={replicas} disagg={disagg} requeue={requeue} threads={threads} n={}",
+            lb_policy(lb).name(),
             trace.len(),
         );
 

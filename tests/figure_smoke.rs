@@ -106,6 +106,47 @@ fn fig14_multi_replica_runs() {
     run_quick("fig14_multi_replica");
 }
 
+/// The sweep harness contract: `--threads 1` is the exact serial
+/// reference, and any other thread count must reproduce its stdout
+/// byte-for-byte (cells run in parallel, results drain in grid order).
+/// fig14 is the richest grid (router fleets + LB + disaggregation
+/// sections), so it is the one pinned here and `cmp`-ed in CI.
+#[test]
+fn fig14_threads_do_not_change_a_byte() {
+    let run = |threads: &str| -> Vec<u8> {
+        let out = Command::new(env!("CARGO"))
+            .args([
+                "run",
+                "--quiet",
+                "--release",
+                "-p",
+                "alisa-bench",
+                "--bin",
+                "fig14_multi_replica",
+                "--",
+                "--quick",
+                "--threads",
+                threads,
+            ])
+            .output()
+            .expect("fig14 must launch");
+        assert!(
+            out.status.success(),
+            "fig14 --threads {threads} failed:\n{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        out.stdout
+    };
+    let serial = run("1");
+    for threads in ["2", "4"] {
+        assert_eq!(
+            serial,
+            run(threads),
+            "fig14 stdout must be byte-identical at --threads {threads}"
+        );
+    }
+}
+
 #[test]
 fn fig15_mixed_precision_runs() {
     run_quick("fig15_mixed_precision");

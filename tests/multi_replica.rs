@@ -274,6 +274,39 @@ fn step_threads_are_inert_under_preemption_and_retention() {
     }
 }
 
+/// Fleet-scale smoke: a 512-replica fleet dispatches through the
+/// incremental `DispatchIndex` and still matches the linear-scan
+/// reference byte-for-byte, for the two indexed policies plus
+/// round-robin, under both unified and disaggregated tiers. This is the
+/// scale point the `router` criterion bench gates (≥10× over the
+/// reference scan) — here we only pin correctness.
+#[test]
+fn indexed_dispatch_matches_reference_at_512_replicas() {
+    let trace = alpaca_trace(40.0, 300, 0xA11A);
+    for lb in [
+        LoadBalancePolicy::RoundRobin,
+        LoadBalancePolicy::LeastOutstanding,
+        LoadBalancePolicy::LeastKvPressure,
+    ] {
+        for disagg in [false, true] {
+            let mut cfg =
+                RouterConfig::homogeneous(replica_cfg(AdmissionPolicy::alisa()), 512).with_lb(lb);
+            if disagg {
+                cfg = cfg.with_disagg(128);
+            }
+            let indexed = Router::new(cfg.clone()).run(&trace);
+            let reference = Router::new(cfg).with_reference_paths(true).run(&trace);
+            assert_eq!(
+                indexed.canonical_text().into_bytes(),
+                reference.canonical_text().into_bytes(),
+                "{} disagg={disagg}: 512-replica indexed dispatch must \
+                 reproduce the reference scan byte-for-byte",
+                lb.name()
+            );
+        }
+    }
+}
+
 /// Disaggregated fleets hand every multi-token prompt off exactly once,
 /// and the handoff count shows up in the report.
 #[test]
