@@ -32,7 +32,7 @@ fn seeded_index(outstanding: &[usize]) -> DispatchIndex {
     let n = outstanding.len();
     let mut ix = DispatchIndex::new(vec![0; n], 1, true, true);
     for (i, &o) in outstanding.iter().enumerate() {
-        ix.update(i, o, o as f64 / 97.0);
+        ix.update(i, o as f64, o as f64 / 97.0);
     }
     ix
 }
@@ -78,7 +78,7 @@ fn bench_dispatch_update(c: &mut Criterion) {
             b.iter(|| {
                 let picked = ix.least_outstanding(0, |_| true).expect("non-empty tier");
                 bump += 1;
-                ix.update(picked, outstanding[picked] + bump % 7, 0.5);
+                ix.update(picked, (outstanding[picked] + bump % 7) as f64, 0.5);
                 black_box(picked)
             });
         });

@@ -29,11 +29,12 @@ use std::path::{Path, PathBuf};
 use std::process::Command;
 
 /// The hot-path suites the gate watches (scheduler inner loop, serving
-/// event loop, session reuse, fleet dispatch + sweep harness).
+/// event loop, session reuse, fleet dispatch + sweep harness, dynamic
+/// fleet membership + failure recovery).
 /// `kernels`/`quant` measure the numeric kernels, which this gate's
 /// callers don't touch — run them directly when that's what you
 /// changed.
-const SUITES: [&str; 4] = ["schedulers", "serving", "sessions", "router"];
+const SUITES: [&str; 5] = ["schedulers", "serving", "sessions", "router", "fleet"];
 
 /// Multiplicative headroom before a slower measurement fails the gate.
 const TOLERANCE: f64 = 1.25;

@@ -155,6 +155,41 @@ pub enum EventKind {
         /// Transfer latency in seconds.
         transfer_s: f64,
     },
+    /// The autoscaler brought a standby replica up.
+    ReplicaUp {
+        /// Replicas admitting traffic after this scale-up.
+        replicas_up: usize,
+        /// Human-readable trace of the signals that triggered it.
+        decision_trace: String,
+    },
+    /// The autoscaler started draining a replica (stop admitting,
+    /// finish what is running, then go standby).
+    ReplicaDrained {
+        /// Replicas still admitting traffic after this drain.
+        replicas_up: usize,
+        /// Human-readable trace of the signals that triggered it.
+        decision_trace: String,
+    },
+    /// A replica was killed by failure injection; its KV state —
+    /// reservations and retained sessions — is gone.
+    ReplicaFailed {
+        /// Queued + running requests on the replica at kill time.
+        in_flight: usize,
+        /// Human-readable trace of what was lost.
+        decision_trace: String,
+    },
+    /// An in-flight session lost to a replica failure was re-homed on
+    /// a survivor; its KV must be rebuilt by re-prefilling.
+    SessionRecovered {
+        /// The failed replica it was lost from.
+        from: usize,
+        /// The survivor it was re-homed on.
+        to: usize,
+        /// Tokens of KV state the survivor must rebuild.
+        rebuilt_tokens: usize,
+        /// Human-readable trace of the placement decision.
+        decision_trace: String,
+    },
 }
 
 impl EventKind {
@@ -175,6 +210,10 @@ impl EventKind {
             EventKind::Dispatch { .. } => "dispatch",
             EventKind::Requeue { .. } => "requeue",
             EventKind::Handoff { .. } => "handoff",
+            EventKind::ReplicaUp { .. } => "replica-up",
+            EventKind::ReplicaDrained { .. } => "replica-drained",
+            EventKind::ReplicaFailed { .. } => "replica-failed",
+            EventKind::SessionRecovered { .. } => "session-recovered",
         }
     }
 }
@@ -315,6 +354,43 @@ impl Event {
                     ",\"from\":{from},\"to\":{to},\"bytes\":{bytes},\"transfer_s\":{transfer_s}"
                 );
             }
+            EventKind::ReplicaUp {
+                replicas_up,
+                decision_trace,
+            }
+            | EventKind::ReplicaDrained {
+                replicas_up,
+                decision_trace,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"replicas_up\":{replicas_up},\"decision_trace\":{}",
+                    escape(decision_trace)
+                );
+            }
+            EventKind::ReplicaFailed {
+                in_flight,
+                decision_trace,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"in_flight\":{in_flight},\"decision_trace\":{}",
+                    escape(decision_trace)
+                );
+            }
+            EventKind::SessionRecovered {
+                from,
+                to,
+                rebuilt_tokens,
+                decision_trace,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"from\":{from},\"to\":{to},\"rebuilt_tokens\":{rebuilt_tokens},\
+                     \"decision_trace\":{}",
+                    escape(decision_trace)
+                );
+            }
         }
         s.push('}');
         s
@@ -404,6 +480,24 @@ impl Event {
                 to: uint(&v, "to")? as usize,
                 bytes: uint(&v, "bytes")?,
                 transfer_s: num(&v, "transfer_s")?,
+            },
+            "replica-up" => EventKind::ReplicaUp {
+                replicas_up: uint(&v, "replicas_up")? as usize,
+                decision_trace: text(&v, "decision_trace")?,
+            },
+            "replica-drained" => EventKind::ReplicaDrained {
+                replicas_up: uint(&v, "replicas_up")? as usize,
+                decision_trace: text(&v, "decision_trace")?,
+            },
+            "replica-failed" => EventKind::ReplicaFailed {
+                in_flight: uint(&v, "in_flight")? as usize,
+                decision_trace: text(&v, "decision_trace")?,
+            },
+            "session-recovered" => EventKind::SessionRecovered {
+                from: uint(&v, "from")? as usize,
+                to: uint(&v, "to")? as usize,
+                rebuilt_tokens: uint(&v, "rebuilt_tokens")? as usize,
+                decision_trace: text(&v, "decision_trace")?,
             },
             other => return Err(format!("unknown event kind `{other}`")),
         };
@@ -515,6 +609,24 @@ mod tests {
                 to: 1,
                 bytes: 65536,
                 transfer_s: 0.001,
+            },
+            EventKind::ReplicaUp {
+                replicas_up: 3,
+                decision_trace: "attainment 0.82 < target 0.9".into(),
+            },
+            EventKind::ReplicaDrained {
+                replicas_up: 2,
+                decision_trace: "pressure 0.12 < low 0.35".into(),
+            },
+            EventKind::ReplicaFailed {
+                in_flight: 5,
+                decision_trace: "replica 2 killed at t=14.250".into(),
+            },
+            EventKind::SessionRecovered {
+                from: 2,
+                to: 0,
+                rebuilt_tokens: 640,
+                decision_trace: "re-homed on least-outstanding survivor".into(),
             },
         ]
     }

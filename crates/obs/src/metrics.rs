@@ -175,6 +175,13 @@ impl MetricsRegistry {
             EventKind::Dispatch { .. } => self.inc("dispatches", 1),
             EventKind::Requeue { .. } => self.inc("requeues", 1),
             EventKind::Handoff { .. } => self.inc("handoffs", 1),
+            EventKind::ReplicaUp { .. } => self.inc("replica_ups", 1),
+            EventKind::ReplicaDrained { .. } => self.inc("replica_drains", 1),
+            EventKind::ReplicaFailed { .. } => self.inc("replica_failures", 1),
+            EventKind::SessionRecovered { rebuilt_tokens, .. } => {
+                self.inc("sessions_recovered", 1);
+                self.inc("rebuilt_tokens", *rebuilt_tokens as u64);
+            }
         }
     }
 

@@ -54,6 +54,21 @@ pub enum ArrivalProcess {
         /// Period of the on/off cycle in seconds.
         period_s: f64,
     },
+    /// Sinusoidally-modulated Poisson — the diurnal load shape fleet
+    /// autoscaling is evaluated under. The instantaneous rate is
+    /// `λ(t) = rate · (1 + swing · sin(2π·(t/period_s − ¼)))`: a
+    /// trough of `rate·(1−swing)` at `t = 0`, a peak of
+    /// `rate·(1+swing)` at `t = period_s/2`, and a long-run mean of
+    /// exactly `rate` — the same total pressure as
+    /// [`ArrivalProcess::Poisson`], breathing instead of flat.
+    Diurnal {
+        /// Long-run mean rate (req/s).
+        rate: f64,
+        /// Peak-to-mean modulation depth, in `(0, 1)`.
+        swing: f64,
+        /// Period of one trough→peak→trough cycle in seconds.
+        period_s: f64,
+    },
     /// `clients` concurrent users, each submitting its next request
     /// `think_s` seconds (exponentially jittered) after its previous
     /// one *completes*.
@@ -71,6 +86,7 @@ impl ArrivalProcess {
         match self {
             ArrivalProcess::Poisson { .. } => "poisson",
             ArrivalProcess::Bursty { .. } => "bursty",
+            ArrivalProcess::Diurnal { .. } => "diurnal",
             ArrivalProcess::ClosedLoop { .. } => "closed-loop",
         }
     }
@@ -129,6 +145,34 @@ impl ArrivalProcess {
                             let phase = (t / period_s).fract();
                             let r = if phase < on_frac { r_on } else { r_off };
                             if rng.gen::<f64>() * r_on <= r {
+                                break;
+                            }
+                        }
+                        t
+                    })
+                    .collect()
+            }
+            ArrivalProcess::Diurnal {
+                rate,
+                swing,
+                period_s,
+            } => {
+                assert!(rate > 0.0, "rate must be positive");
+                assert!((0.0..1.0).contains(&swing) && swing > 0.0, "swing in (0,1)");
+                assert!(period_s > 0.0, "period must be positive");
+                // Lewis–Shedler thinning at the peak rate, accepting
+                // each candidate with probability λ(t)/λ_peak — the
+                // same sampler the bursty process uses, with a smooth
+                // modulation instead of a square wave.
+                let r_peak = rate * (1.0 + swing);
+                let mut t = 0.0;
+                (0..n)
+                    .map(|_| {
+                        loop {
+                            t += exp_draw(&mut rng, r_peak);
+                            let phase = std::f64::consts::TAU * (t / period_s - 0.25);
+                            let r = rate * (1.0 + swing * phase.sin());
+                            if rng.gen::<f64>() * r_peak <= r {
                                 break;
                             }
                         }
@@ -198,6 +242,51 @@ mod tests {
             "only {:.0}% of arrivals in the on-phase",
             100.0 * on / ts.len() as f64
         );
+    }
+
+    #[test]
+    fn diurnal_breathes_but_preserves_mean_rate() {
+        let p = ArrivalProcess::Diurnal {
+            rate: 2.0,
+            swing: 0.8,
+            period_s: 20.0,
+        };
+        let ts = p.arrival_times(4000, 11);
+        assert!(ts.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(ts, p.arrival_times(4000, 11), "must be deterministic");
+        // Long-run average matches `rate`, so diurnal-vs-Poisson
+        // comparisons at the same `rate` offer the same total load.
+        let measured = 4000.0 / ts.last().unwrap();
+        assert!(
+            (measured - 2.0).abs() < 0.25,
+            "time-averaged rate {measured:.2} far from 2.0"
+        );
+        // The peak half-period (phase in [0.25, 0.75), centred on the
+        // peak at phase 0.5) must hold well over half the arrivals:
+        // with swing 0.8 the analytic share is 1/2 + swing/π ≈ 75%.
+        let peak_half = ts
+            .iter()
+            .filter(|&&t| {
+                let ph = (t / 20.0).fract();
+                (0.25..0.75).contains(&ph)
+            })
+            .count() as f64;
+        let share = peak_half / ts.len() as f64;
+        assert!(
+            (share - 0.75).abs() < 0.08,
+            "peak half-period share {share:.2} far from 0.75"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "swing in (0,1)")]
+    fn diurnal_swing_must_modulate() {
+        let _ = ArrivalProcess::Diurnal {
+            rate: 1.0,
+            swing: 1.0,
+            period_s: 10.0,
+        }
+        .arrival_times(1, 0);
     }
 
     #[test]

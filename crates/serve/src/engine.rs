@@ -392,6 +392,23 @@ impl ServeEngine {
         self.step_time_sessions(&jobs, running_seq_lens)
     }
 
+    /// Relative serving capability of this replica: decode throughput
+    /// (sequences per second) on a fixed reference batch — 8 sequences
+    /// of 512 tokens — priced through the replica's own cost model, so
+    /// hardware, precision policy, and sparsity all fold into one
+    /// strictly positive scalar. Heterogeneous fleets divide their load
+    /// signals by this weight (outstanding requests or KV pressure *per
+    /// unit of throughput*) so capability-aware balancing compares a
+    /// V100 and an A100-class replica fairly; on homogeneous fleets
+    /// every replica gets the same weight and the normalization is a
+    /// no-op on the selection order.
+    pub fn throughput_weight(&self) -> f64 {
+        const REF_BATCH: usize = 8;
+        const REF_SEQ: usize = 512;
+        let dt = self.step_time(&[], &[REF_SEQ; REF_BATCH]);
+        REF_BATCH as f64 / dt.max(1e-12)
+    }
+
     /// [`ServeEngine::step_time`] generalized to session prefix reuse:
     /// a [`PrefillJob`] with a reused prefix only runs its suffix
     /// through the model (`prefill_time` over the new tokens), then

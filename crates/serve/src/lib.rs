@@ -92,5 +92,8 @@ pub use discipline::{DisciplineStats, QueueDiscipline, QueueOrder, QueuePick};
 pub use engine::{derived_slo, ClosedLoopCfg, PrefillJob, RetentionCfg, ServeConfig, ServeEngine};
 pub use metrics::{LatencyStats, ServeReport, ServeSample, SloSpec};
 pub use request::{RejectReason, Request, RequestState};
-pub use router::{DisaggCfg, DispatchIndex, LoadBalancePolicy, Router, RouterConfig, RouterReport};
+pub use router::{
+    AutoscalerCfg, DisaggCfg, DispatchIndex, FailureEvent, FailurePlan, FleetDynamicsStats,
+    LoadBalancePolicy, Router, RouterConfig, RouterReport,
+};
 pub use trace::{SessionRef, Trace, TraceEntry, TraceError};

@@ -180,7 +180,17 @@ impl ServeReport {
     ) -> Self {
         let _p = profile::timer(Phase::Report);
         let arrived = requests.len();
-        let admitted = requests.iter().filter(|r| r.admitted_at.is_some()).count();
+        // An admission only counts if it *stuck*: a request admitted
+        // somewhere and later lost to a replica failure with no
+        // survivor able to hold it terminates Rejected, and must count
+        // on exactly one side of `admitted + rejected == arrived`. No
+        // failure-free path rejects an admitted request (timeout scans
+        // exempt preempted and first-token requests), so this filter
+        // changes nothing outside failure injection.
+        let admitted = requests
+            .iter()
+            .filter(|r| r.admitted_at.is_some() && r.state != RequestState::Rejected)
+            .count();
         let rejected = requests
             .iter()
             .filter(|r| r.state == RequestState::Rejected)

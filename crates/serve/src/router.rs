@@ -19,7 +19,17 @@
 //! * prefill/decode disaggregation ([`DisaggCfg`]) — designated
 //!   prefill replicas build prompt KV and hand finished prompts to
 //!   decode replicas, with the KV transfer charged through the memsim
-//!   cost model (`StepExecutor::handoff_time`).
+//!   cost model (`StepExecutor::handoff_time`),
+//! * fleet dynamics — an [`AutoscalerCfg`]-driven control loop that
+//!   brings standby replicas up and drains them back down from
+//!   observed SLO attainment and KV pressure over a sliding window,
+//!   and seeded [`FailurePlan`] replica kills whose in-flight sessions
+//!   re-prefill on survivors (the lost-KV rebuild priced through
+//!   [`ServeEngine::step_time_sessions`], retention state discarded),
+//! * heterogeneous fleets — replicas may differ in hardware and
+//!   precision policy; the least-* balancers normalize their load
+//!   signals by each replica's [`ServeEngine::throughput_weight`] so
+//!   a fast replica is expected to carry proportionally more.
 //!
 //! The simulation is a deterministic discrete-event loop: a global
 //! event heap (arrivals, handoffs, re-queues) ordered by `(time, seq)`,
@@ -64,6 +74,8 @@ use alisa_kvcache::{RetainedSession, ReuseStats, SessionKvCache};
 use alisa_obs::profile::{self, Phase};
 use alisa_obs::{Event, EventKind, MetricsRegistry, NullSink, TraceSink};
 use alisa_sched::common::mix64;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use crate::engine::{PrefillJob, ServeConfig, ServeEngine, TimelineRec};
@@ -145,6 +157,141 @@ pub struct DisaggCfg {
     pub prefill_replicas: usize,
 }
 
+/// The autoscaler control loop: every `interval_s` of simulation time
+/// the router reads three signals — SLO attainment over the requests
+/// finished in the trailing `window_s`, mean KV pressure across the
+/// admitting replicas, and the worst current queue wait of a request
+/// still awaiting first service — and either brings one standby
+/// replica up (overload) or starts draining the emptiest admitting
+/// replica (sustained headroom). A draining replica stops admitting,
+/// hands its queued requests to survivors, finishes what is running,
+/// and goes standby; `RouterConfig::replicas.len()` is the fleet
+/// ceiling, `min_replicas` the floor.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AutoscalerCfg {
+    /// Replicas that always admit (the initial fleet). Must be at
+    /// least 1 and at most the configured replica count.
+    pub min_replicas: usize,
+    /// Simulation seconds between autoscaler evaluations.
+    pub interval_s: f64,
+    /// Sliding window (seconds) the SLO-attainment signal is computed
+    /// over.
+    pub window_s: f64,
+    /// Scale up while windowed SLO attainment is below this.
+    pub target_attainment: f64,
+    /// Scale up while mean KV pressure is above this.
+    pub pressure_high: f64,
+    /// Drain only while mean KV pressure is below this.
+    pub pressure_low: f64,
+}
+
+impl AutoscalerCfg {
+    /// Defaults tuned for the SLO-derived serving traces: evaluate
+    /// every 5 s over a 20 s window, hold 90% attainment, scale up
+    /// past 70% KV pressure, drain below 30%.
+    pub fn new(min_replicas: usize) -> Self {
+        AutoscalerCfg {
+            min_replicas,
+            interval_s: 5.0,
+            window_s: 20.0,
+            target_attainment: 0.9,
+            pressure_high: 0.7,
+            pressure_low: 0.3,
+        }
+    }
+
+    /// Overrides the evaluation cadence and sliding window.
+    pub fn with_cadence(mut self, interval_s: f64, window_s: f64) -> Self {
+        self.interval_s = interval_s;
+        self.window_s = window_s;
+        self
+    }
+}
+
+/// One injected replica kill.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FailureEvent {
+    /// Simulation time of the kill (seconds).
+    pub t: f64,
+    /// Replica to kill. Killing an already-failed replica is a no-op.
+    pub replica: usize,
+}
+
+/// A deterministic schedule of replica kills. At each kill time the
+/// replica's reservations and retained sessions are discarded; its
+/// queued and running requests are re-homed on admitting survivors
+/// (running requests re-enter preempted, so the survivor re-prefills
+/// their lost KV through the normal admission pricing path) or
+/// rejected if no survivor can ever hold them.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct FailurePlan {
+    /// The kills, in any order (the event heap sorts them).
+    pub kills: Vec<FailureEvent>,
+}
+
+impl FailurePlan {
+    /// A plan from explicit `(time, replica)` kills.
+    pub fn at(kills: &[(f64, usize)]) -> Self {
+        FailurePlan {
+            kills: kills
+                .iter()
+                .map(|&(t, replica)| FailureEvent { t, replica })
+                .collect(),
+        }
+    }
+
+    /// A seeded plan: `kills` distinct replicas out of `replicas`,
+    /// killed at uniform times in the middle `(20%, 80%)` of
+    /// `horizon_s`. Deterministic per seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `kills < replicas` (someone must survive) and
+    /// `horizon_s` is positive.
+    pub fn seeded(seed: u64, kills: usize, replicas: usize, horizon_s: f64) -> Self {
+        assert!(kills < replicas, "a failure plan must leave a survivor");
+        assert!(horizon_s > 0.0, "horizon must be positive");
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xFA11_ED42);
+        let mut plan = FailurePlan::default();
+        let mut used = vec![false; replicas];
+        for _ in 0..kills {
+            let replica = loop {
+                let r = rng.gen_range(0..replicas);
+                if !used[r] {
+                    used[r] = true;
+                    break r;
+                }
+            };
+            let t = rng.gen_range(0.2..0.8) * horizon_s;
+            plan.kills.push(FailureEvent { t, replica });
+        }
+        plan.kills
+            .sort_by(|a, b| a.t.total_cmp(&b.t).then_with(|| a.replica.cmp(&b.replica)));
+        plan
+    }
+}
+
+/// Fleet-dynamics counters, present on [`RouterReport`] iff the run
+/// had an autoscaler or a failure plan — static fleets' canonical
+/// reports stay byte-identical.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct FleetDynamicsStats {
+    /// Standby replicas brought up by the autoscaler.
+    pub scale_ups: usize,
+    /// Drains started by the autoscaler.
+    pub drains: usize,
+    /// Replica kills executed from the failure plan.
+    pub failures: usize,
+    /// Admitted in-flight sessions successfully re-homed on a survivor
+    /// after a kill (each re-prefills its lost KV there).
+    pub recovered: usize,
+    /// Still-queued requests moved off a killed or draining replica.
+    pub relocated: usize,
+    /// Total replica-seconds of admitting-or-draining capacity the
+    /// fleet spent — the denominator of goodput-per-replica-hour.
+    pub replica_seconds: f64,
+}
+
 /// Configuration of a multi-replica serving fleet.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RouterConfig {
@@ -159,6 +306,15 @@ pub struct RouterConfig {
     pub requeue_on_reject: bool,
     /// Prefill/decode disaggregation, if enabled.
     pub disagg: Option<DisaggCfg>,
+    /// Autoscaler control loop, if enabled. Replicas beyond
+    /// `min_replicas` start standby and come up on demand;
+    /// incompatible with disaggregation.
+    #[serde(default)]
+    pub autoscaler: Option<AutoscalerCfg>,
+    /// Injected replica kills, if any; incompatible with
+    /// disaggregation.
+    #[serde(default)]
+    pub failures: Option<FailurePlan>,
     /// Worker threads used to advance lagging replicas between
     /// dispatches. `1` (the default) steps them serially in index
     /// order; larger values fan the per-replica steps out over scoped
@@ -190,6 +346,26 @@ impl RouterConfig {
             lb: LoadBalancePolicy::RoundRobin,
             requeue_on_reject: false,
             disagg: None,
+            autoscaler: None,
+            failures: None,
+            step_threads: 1,
+        }
+    }
+
+    /// A fleet of explicitly per-replica configurations (hardware and
+    /// precision may differ) under round-robin dispatch. Pair with
+    /// [`LoadBalancePolicy::LeastOutstanding`] /
+    /// [`LoadBalancePolicy::LeastKvPressure`] to get capability-aware
+    /// balancing: their load signals are normalized by each replica's
+    /// [`ServeEngine::throughput_weight`].
+    pub fn heterogeneous(replicas: Vec<ServeConfig>) -> Self {
+        RouterConfig {
+            replicas,
+            lb: LoadBalancePolicy::RoundRobin,
+            requeue_on_reject: false,
+            disagg: None,
+            autoscaler: None,
+            failures: None,
             step_threads: 1,
         }
     }
@@ -220,6 +396,18 @@ impl RouterConfig {
         self.disagg = Some(DisaggCfg { prefill_replicas });
         self
     }
+
+    /// Enables the autoscaler control loop.
+    pub fn with_autoscaler(mut self, autoscaler: AutoscalerCfg) -> Self {
+        self.autoscaler = Some(autoscaler);
+        self
+    }
+
+    /// Injects the given replica-failure plan.
+    pub fn with_failures(mut self, failures: FailurePlan) -> Self {
+        self.failures = Some(failures);
+        self
+    }
 }
 
 /// Outcome of one fleet simulation: the merged fleet-level
@@ -247,6 +435,9 @@ pub struct RouterReport {
     pub requeued: usize,
     /// Completed prompts shipped from a prefill to a decode replica.
     pub handoffs: usize,
+    /// Fleet-dynamics counters — `Some` iff the run had an autoscaler
+    /// or a failure plan, so static fleets' reports are unchanged.
+    pub dynamics: Option<FleetDynamicsStats>,
 }
 
 impl RouterReport {
@@ -267,6 +458,13 @@ impl RouterReport {
             "router-report v1\nlb {}\nrequeue {}\nprefill_replicas {}\nrequeued {}\nhandoffs {}\n",
             self.lb, self.requeue_on_reject, self.prefill_replicas, self.requeued, self.handoffs
         );
+        if let Some(d) = &self.dynamics {
+            s.push_str(&format!(
+                "dynamics scale_ups {} drains {} failures {} recovered {} relocated {} \
+                 replica_seconds {}\n",
+                d.scale_ups, d.drains, d.failures, d.recovered, d.relocated, d.replica_seconds
+            ));
+        }
         s.push_str("== fleet ==\n");
         s.push_str(&self.fleet.canonical_text());
         for (i, r) in self.replicas.iter().enumerate() {
@@ -274,6 +472,22 @@ impl RouterReport {
             s.push_str(&r.canonical_text());
         }
         s
+    }
+
+    /// SLO-met completions per replica-hour of capacity actually spent
+    /// — the autoscaler's figure of merit. Dynamic fleets divide by the
+    /// measured admitting-or-draining replica-seconds; static fleets by
+    /// `replicas × makespan` (every replica billed for the whole run).
+    pub fn goodput_per_replica_hour(&self) -> f64 {
+        let secs = self
+            .dynamics
+            .map(|d| d.replica_seconds)
+            .unwrap_or(self.replicas.len() as f64 * self.fleet.makespan_s);
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.fleet.slo_met as f64 / (secs / 3600.0)
+        }
     }
 }
 
@@ -286,6 +500,21 @@ enum Role {
     Prefill,
     /// Decode only; admits handed-off requests.
     Decode,
+}
+
+/// A replica's availability in a dynamic fleet. Static fleets stay
+/// `Up` for the whole run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Lifecycle {
+    /// Admitting new work.
+    Up,
+    /// Powered down, holding nothing; the autoscaler may bring it up.
+    Standby,
+    /// Not admitting; queued work has been handed to survivors and the
+    /// running batch finishes locally, then the replica goes standby.
+    Draining,
+    /// Killed by the failure plan. Permanent.
+    Failed,
 }
 
 /// A global simulation event.
@@ -303,6 +532,11 @@ enum EvKind {
         /// Replica that bounced it.
         from: usize,
     },
+    /// The autoscaler evaluates its signals (re-armed every
+    /// `interval_s` while real work remains).
+    Scale,
+    /// The failure plan kills the given replica.
+    Fail(usize),
 }
 
 /// Heap entry: min-ordered by `(t, seq)` so equal-time events pop in
@@ -376,21 +610,33 @@ struct StepScratch {
 /// reach the hundreds. This structure keeps one ordered index per tier
 /// and load signal instead:
 ///
-/// * **outstanding** — `(queued + running, replica)` pairs in a
-///   [`BTreeSet`], so the least-loaded replica is the first element;
-/// * **KV pressure** — `(pressure.to_bits(), replica)` pairs. Pressure
-///   is `reserved / budget ∈ [0, ∞)`; for non-negative finite IEEE-754
-///   doubles the raw bit pattern orders exactly like
-///   [`f64::total_cmp`], so the u64 key reproduces the reference
-///   comparator's total order bit-for-bit (the same trick the
-///   scheduler's packed top-K keys use).
+/// * **load** — `(load.to_bits(), replica)` pairs in a [`BTreeSet`],
+///   where load is the throughput-normalized outstanding count
+///   (`outstanding / weight` — a plain scaled count for homogeneous
+///   fleets, where dividing every key by the same positive weight
+///   preserves the order and every tie);
+/// * **KV pressure** — `(pressure.to_bits(), replica)` pairs, pressure
+///   being normalized occupancy `(reserved / budget) / weight`.
+///
+/// Both signals are non-negative finite IEEE-754 doubles, whose raw
+/// bit patterns order exactly like [`f64::total_cmp`] — so the u64
+/// keys reproduce the reference comparators' total order bit-for-bit
+/// (the same trick the scheduler's packed top-K keys use).
 ///
 /// Ties break to the lowest replica index in both orders — identical
-/// to the reference `min_by`/`min_by_key` scans, which is what makes
-/// the indexed router byte-identical to the linear one (pinned by
+/// to the reference `min_by` scans, which is what makes the indexed
+/// router byte-identical to the linear one (pinned by
 /// `tests/differential.rs`). Updates are O(log replicas): the router
 /// refreshes a replica's keys whenever its load signals can have moved
 /// (on enqueue, and after each step sweep).
+///
+/// Fleets are no longer fixed at construction:
+/// [`DispatchIndex::remove`] takes a draining or failed replica out of
+/// every order (it can no longer be picked) and
+/// [`DispatchIndex::insert`] puts a scaled-up replica back — both
+/// O(log replicas), no rebuild. Updates to an absent replica are
+/// no-ops, so the router's blanket post-sweep re-keying needs no
+/// lifecycle bookkeeping.
 ///
 /// Disaggregated fleets get the tier filter baked in: each replica
 /// belongs to exactly one tier (prefill = 0, decode = 1; unified fleets
@@ -400,16 +646,18 @@ struct StepScratch {
 pub struct DispatchIndex {
     /// Tier of each replica.
     tier_of: Vec<usize>,
-    /// Per tier: replicas ordered by `(outstanding, index)`. Empty and
+    /// Whether each replica is currently in the orders.
+    present: Vec<bool>,
+    /// Per tier: replicas ordered by `(load bits, index)`. Empty and
     /// unmaintained unless `track_outstanding`.
-    by_outstanding: Vec<BTreeSet<(usize, usize)>>,
+    by_outstanding: Vec<BTreeSet<(u64, usize)>>,
     /// Per tier: replicas ordered by `(kv-pressure bits, index)`. Empty
     /// and unmaintained unless `track_pressure`.
     by_pressure: Vec<BTreeSet<(u64, usize)>>,
-    /// Per replica: the `(outstanding, pressure-bits)` keys currently
-    /// in the sets, so an update can remove them without a search.
-    keys: Vec<(usize, u64)>,
-    /// Whether the outstanding order is maintained.
+    /// Per replica: the `(load-bits, pressure-bits)` keys currently in
+    /// the sets, so an update can remove them without a search.
+    keys: Vec<(u64, u64)>,
+    /// Whether the load order is maintained.
     track_outstanding: bool,
     /// Whether the KV-pressure order is maintained.
     track_pressure: bool,
@@ -419,7 +667,7 @@ impl DispatchIndex {
     /// Builds an index over `tier_of.len()` replicas partitioned into
     /// `tiers` tiers, maintaining only the orders asked for (an unused
     /// order would cost two B-tree operations per update for nothing).
-    /// Every replica starts with key `(0, 0.0)`; call
+    /// Every replica starts present with key `(0.0, 0.0)`; call
     /// [`DispatchIndex::update`] to seed real signals.
     ///
     /// # Panics
@@ -430,6 +678,7 @@ impl DispatchIndex {
         let n = tier_of.len();
         let mut idx = DispatchIndex {
             tier_of,
+            present: vec![true; n],
             by_outstanding: vec![BTreeSet::new(); tiers],
             by_pressure: vec![BTreeSet::new(); tiers],
             keys: vec![(0, 0); n],
@@ -448,23 +697,83 @@ impl DispatchIndex {
         idx
     }
 
-    /// Re-keys `replica` to the given load signals. `pressure` must be
-    /// non-negative (KV occupancy is), so its bit pattern is order-
-    /// preserving. O(log replicas) per maintained order.
-    pub fn update(&mut self, replica: usize, outstanding: usize, pressure: f64) {
-        debug_assert!(pressure >= 0.0, "negative pressure breaks bit ordering");
+    /// Re-keys `replica` to the given load signals, both of which must
+    /// be non-negative (counts and occupancies are), so their bit
+    /// patterns are order-preserving. A no-op for a replica that was
+    /// [`DispatchIndex::remove`]d. O(log replicas) per maintained
+    /// order.
+    pub fn update(&mut self, replica: usize, load: f64, pressure: f64) {
+        debug_assert!(
+            load >= 0.0 && pressure >= 0.0,
+            "negative signals break bit ordering"
+        );
+        if !self.present[replica] {
+            return;
+        }
         let tier = self.tier_of[replica];
-        let (old_out, old_kv) = self.keys[replica];
+        let (old_load, old_kv) = self.keys[replica];
+        let lb = load.to_bits();
         let kv = pressure.to_bits();
-        if self.track_outstanding && old_out != outstanding {
-            self.by_outstanding[tier].remove(&(old_out, replica));
-            self.by_outstanding[tier].insert((outstanding, replica));
+        if self.track_outstanding && old_load != lb {
+            self.by_outstanding[tier].remove(&(old_load, replica));
+            self.by_outstanding[tier].insert((lb, replica));
         }
         if self.track_pressure && old_kv != kv {
             self.by_pressure[tier].remove(&(old_kv, replica));
             self.by_pressure[tier].insert((kv, replica));
         }
-        self.keys[replica] = (outstanding, kv);
+        self.keys[replica] = (lb, kv);
+    }
+
+    /// Adds `replica` to tier `tier` with zeroed signals (scale-up).
+    /// Grows the per-replica tables if `replica` is beyond the fleet
+    /// the index was built over; a no-op if it is already present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tier` is outside the tier count given at build time.
+    pub fn insert(&mut self, replica: usize, tier: usize) {
+        assert!(tier < self.by_outstanding.len(), "tier out of range");
+        if replica >= self.present.len() {
+            self.tier_of.resize(replica + 1, 0);
+            self.present.resize(replica + 1, false);
+            self.keys.resize(replica + 1, (0, 0));
+        }
+        if self.present[replica] {
+            return;
+        }
+        self.present[replica] = true;
+        self.tier_of[replica] = tier;
+        self.keys[replica] = (0, 0);
+        if self.track_outstanding {
+            self.by_outstanding[tier].insert((0, replica));
+        }
+        if self.track_pressure {
+            self.by_pressure[tier].insert((0, replica));
+        }
+    }
+
+    /// Removes `replica` from every order (drain or failure): it can
+    /// no longer be picked, and updates to it become no-ops until it is
+    /// re-[`DispatchIndex::insert`]ed. A no-op if already absent.
+    pub fn remove(&mut self, replica: usize) {
+        if replica >= self.present.len() || !self.present[replica] {
+            return;
+        }
+        self.present[replica] = false;
+        let tier = self.tier_of[replica];
+        let (lb, kv) = self.keys[replica];
+        if self.track_outstanding {
+            self.by_outstanding[tier].remove(&(lb, replica));
+        }
+        if self.track_pressure {
+            self.by_pressure[tier].remove(&(kv, replica));
+        }
+    }
+
+    /// Whether `replica` is currently in the orders.
+    pub fn contains(&self, replica: usize) -> bool {
+        self.present.get(replica).copied().unwrap_or(false)
     }
 
     /// The tier-`tier` replica with the fewest outstanding requests
@@ -607,6 +916,17 @@ impl ReqView {
 struct ReplicaState {
     idx: usize,
     role: Role,
+    /// Availability in a dynamic fleet; always `Up` in a static one.
+    life: Lifecycle,
+    /// When the current up (or draining) stretch began.
+    up_since: f64,
+    /// Accumulated admitting-or-draining seconds from *closed*
+    /// stretches; the open stretch (if any) is settled at drain
+    /// completion, failure, or end of run.
+    up_seconds: f64,
+    /// Relative throughput ([`ServeEngine::throughput_weight`]) the
+    /// least-* load signals are normalized by.
+    weight: f64,
     budget: u64,
     queue: VecDeque<usize>,
     running: Vec<usize>,
@@ -628,6 +948,10 @@ impl ReplicaState {
         ReplicaState {
             idx,
             role,
+            life: Lifecycle::Up,
+            up_since: 0.0,
+            up_seconds: 0.0,
+            weight: engine.throughput_weight(),
             budget,
             queue: VecDeque::new(),
             running: Vec::new(),
@@ -663,6 +987,26 @@ impl ReplicaState {
         } else {
             self.reserved as f64 / self.budget as f64
         }
+    }
+
+    /// Whether the replica accepts new dispatches.
+    fn is_admitting(&self) -> bool {
+        self.life == Lifecycle::Up
+    }
+
+    /// Throughput-normalized outstanding count — what the
+    /// least-outstanding policy actually minimizes. On a homogeneous
+    /// fleet every weight is equal, so the order (and every tie) is
+    /// exactly the raw count's.
+    fn load_norm(&self) -> f64 {
+        self.outstanding() as f64 / self.weight
+    }
+
+    /// Throughput-normalized KV occupancy — the least-KV-pressure
+    /// signal, biased toward replicas that drain their reservations
+    /// faster.
+    fn pressure_norm(&self) -> f64 {
+        self.kv_pressure() / self.weight
     }
 
     /// Accepts a request into the local admission queue at event time
@@ -707,6 +1051,37 @@ impl Router {
                 "disaggregation needs >= 1 prefill and >= 1 decode replica"
             );
         }
+        if let Some(a) = cfg.autoscaler {
+            assert!(
+                a.min_replicas >= 1 && a.min_replicas <= cfg.replicas.len(),
+                "autoscaler floor must be in 1..=replicas"
+            );
+            assert!(
+                a.interval_s > 0.0 && a.window_s > 0.0,
+                "autoscaler cadence and window must be positive"
+            );
+            assert!(
+                cfg.disagg.is_none(),
+                "fleet dynamics require a unified fleet (no disaggregation)"
+            );
+        }
+        if let Some(p) = &cfg.failures {
+            for k in &p.kills {
+                assert!(
+                    k.replica < cfg.replicas.len(),
+                    "failure plan kills replica {} outside the fleet",
+                    k.replica
+                );
+                assert!(
+                    k.t.is_finite() && k.t >= 0.0,
+                    "failure times must be finite and non-negative"
+                );
+            }
+            assert!(
+                p.kills.is_empty() || cfg.disagg.is_none(),
+                "fleet dynamics require a unified fleet (no disaggregation)"
+            );
+        }
         let engines = cfg.replicas.iter().cloned().map(ServeEngine::new).collect();
         Router {
             cfg,
@@ -735,6 +1110,17 @@ impl Router {
     /// Number of replicas.
     pub fn replica_count(&self) -> usize {
         self.engines.len()
+    }
+
+    /// Whether this run has fleet dynamics (autoscaling or injected
+    /// failures) — the paths that change replica lifecycles mid-run.
+    fn fleet_dynamic(&self) -> bool {
+        self.cfg.autoscaler.is_some()
+            || self
+                .cfg
+                .failures
+                .as_ref()
+                .is_some_and(|p| !p.kills.is_empty())
     }
 
     /// Replica indices eligible for fresh arrivals (the prefill tier
@@ -813,6 +1199,13 @@ impl Router {
                 ReplicaState::new(i, role, eng)
             })
             .collect();
+        let dynamic = self.fleet_dynamic();
+        let mut dynamics: Option<FleetDynamicsStats> = dynamic.then(FleetDynamicsStats::default);
+        if let Some(a) = self.cfg.autoscaler {
+            for s in states.iter_mut().skip(a.min_replicas) {
+                s.life = Lifecycle::Standby;
+            }
+        }
 
         // Per-request side state the router owns.
         let prefix_lens = trace.prefix_lens();
@@ -832,6 +1225,28 @@ impl Router {
                 t: req.arrival,
                 seq,
                 kind: EvKind::Arrival(id),
+            });
+            seq += 1;
+        }
+        if let Some(plan) = &self.cfg.failures {
+            for kill in &plan.kills {
+                heap.push(Ev {
+                    t: kill.t,
+                    seq,
+                    kind: EvKind::Fail(kill.replica),
+                });
+                seq += 1;
+            }
+        }
+        // Real (non-autoscaler) events still pending: the Scale tick
+        // re-arms only while some remain or a replica is busy, which
+        // guarantees termination.
+        let mut real_events = heap.len();
+        if let Some(a) = self.cfg.autoscaler {
+            heap.push(Ev {
+                t: a.interval_s,
+                seq,
+                kind: EvKind::Scale,
             });
             seq += 1;
         }
@@ -871,12 +1286,46 @@ impl Router {
         };
         if let Some(ix) = index.as_mut() {
             for s in &states {
-                ix.update(s.idx, s.outstanding(), s.kv_pressure());
+                ix.update(s.idx, s.load_norm(), s.pressure_norm());
+                if !s.is_admitting() {
+                    ix.remove(s.idx);
+                }
             }
         }
         let mut dispatch_scratch = DispatchScratch::default();
 
         loop {
+            // ---- 0. Dynamic fleets: a draining replica whose running
+            // batch has emptied completes its drain and goes standby,
+            // settling its up-time and discarding retained sessions
+            // (the next scale-up starts cold). Serial, deterministic.
+            if dynamic {
+                for s in states.iter_mut() {
+                    if s.life != Lifecycle::Draining || s.busy() {
+                        continue;
+                    }
+                    s.life = Lifecycle::Standby;
+                    s.up_seconds += s.t.max(s.up_since) - s.up_since;
+                    if let Some(kv) = s.session_kv.as_mut() {
+                        let evicted = kv.evict_until(0, None);
+                        if TRACED {
+                            for evd in &evicted {
+                                obs.emit(Event {
+                                    t: s.t,
+                                    replica: Some(s.idx),
+                                    request: None,
+                                    kind: EventKind::RetentionEvict {
+                                        session: evd.session_id as u64,
+                                        seq_len: evd.seq_len,
+                                        bytes: evd.bytes,
+                                    },
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+
             // ---- 1. Dispatch every due event. An event is due once no
             // busy replica's clock is still behind it (idle replicas
             // jump forward on enqueue, like the single engine's idle
@@ -890,7 +1339,14 @@ impl Router {
                 if top.t <= busy_min {
                     let _route = profile::timer(Phase::Dispatch);
                     let ev = heap.pop().expect("peeked");
-                    last_event_t = last_event_t.max(ev.t);
+                    // Scale ticks are bookkeeping, not workload: they
+                    // neither count as real events nor extend the
+                    // makespan (the last tick fires after the fleet has
+                    // gone quiet).
+                    if !matches!(ev.kind, EvKind::Scale) {
+                        real_events -= 1;
+                        last_event_t = last_event_t.max(ev.t);
+                    }
                     match ev.kind {
                         EvKind::Arrival(id) => {
                             if TRACED {
@@ -1005,8 +1461,49 @@ impl Router {
                             states[target].enqueue(id, ev.t);
                             if let Some(ix) = index.as_mut() {
                                 let s = &states[target];
-                                ix.update(target, s.outstanding(), s.kv_pressure());
+                                ix.update(target, s.load_norm(), s.pressure_norm());
                             }
+                        }
+                        EvKind::Scale => {
+                            let a = self.cfg.autoscaler.expect("Scale implies an autoscaler");
+                            self.scale_tick::<TRACED>(
+                                ev.t,
+                                &a,
+                                &mut states,
+                                &mut requests,
+                                &mut owner,
+                                &mut res_bytes,
+                                &mut queued_since,
+                                &mut rr_arrival,
+                                &mut index,
+                                &mut dispatch_scratch,
+                                dynamics.as_mut().expect("dynamic fleet"),
+                                &mut obs,
+                            );
+                            if real_events > 0 || states.iter().any(|s| s.busy()) {
+                                heap.push(Ev {
+                                    t: ev.t + a.interval_s,
+                                    seq,
+                                    kind: EvKind::Scale,
+                                });
+                                seq += 1;
+                            }
+                        }
+                        EvKind::Fail(r) => {
+                            self.fail_replica::<TRACED>(
+                                r,
+                                ev.t,
+                                &mut states,
+                                &mut requests,
+                                &mut owner,
+                                &mut res_bytes,
+                                &mut queued_since,
+                                &mut rr_arrival,
+                                &mut index,
+                                &mut dispatch_scratch,
+                                dynamics.as_mut().expect("dynamic fleet"),
+                                &mut obs,
+                            );
                         }
                     }
                     continue;
@@ -1114,6 +1611,7 @@ impl Router {
                 for (t, kind) in ob.events.drain(..) {
                     heap.push(Ev { t, seq, kind });
                     seq += 1;
+                    real_events += 1;
                 }
                 requeued_total += ob.requeued;
                 ob.requeued = 0;
@@ -1126,8 +1624,21 @@ impl Router {
             // above, so refreshing here keeps it exact.
             if let Some(ix) = index.as_mut() {
                 for &i in &lagging {
-                    ix.update(i, states[i].outstanding(), states[i].kv_pressure());
+                    ix.update(i, states[i].load_norm(), states[i].pressure_norm());
                 }
+            }
+        }
+
+        // Settle the open up-time stretch of every replica still
+        // admitting or draining: the fleet's capacity bill runs to the
+        // latest clock anywhere (the static-fleet makespan rule).
+        if let Some(d) = dynamics.as_mut() {
+            let final_t = states.iter().map(|s| s.t).fold(last_event_t, f64::max);
+            for s in states.iter_mut() {
+                if matches!(s.life, Lifecycle::Up | Lifecycle::Draining) {
+                    s.up_seconds += final_t.max(s.up_since) - s.up_since;
+                }
+                d.replica_seconds += s.up_seconds;
             }
         }
 
@@ -1139,6 +1650,7 @@ impl Router {
             requeued_total,
             handoffs_total,
             last_event_t,
+            dynamics,
         );
         if TRACED {
             report.fleet.metrics = Some(obs.reg.canonical_text());
@@ -1161,15 +1673,20 @@ impl Router {
             LoadBalancePolicy::LeastOutstanding => tier
                 .iter()
                 .copied()
-                .min_by_key(|&i| (states[i].outstanding(), i))
+                .min_by(|&a, &b| {
+                    states[a]
+                        .load_norm()
+                        .total_cmp(&states[b].load_norm())
+                        .then_with(|| a.cmp(&b))
+                })
                 .expect("tier is non-empty"),
             LoadBalancePolicy::LeastKvPressure => tier
                 .iter()
                 .copied()
                 .min_by(|&a, &b| {
                     states[a]
-                        .kv_pressure()
-                        .total_cmp(&states[b].kv_pressure())
+                        .pressure_norm()
+                        .total_cmp(&states[b].pressure_norm())
                         .then_with(|| a.cmp(&b))
                 })
                 .expect("tier is non-empty"),
@@ -1300,12 +1817,21 @@ impl Router {
                 }
                 _ => unreachable!("index implies a least-* policy"),
             }
-        } else if !self.reference_paths {
+        } else if !self.reference_paths && !self.fleet_dynamic() {
             self.pick_cyclic(tier, exclude, key, rr)
         } else {
+            // Reference scans, and *all* round-robin/sticky picks on a
+            // dynamic fleet: the eligible set is no longer a contiguous
+            // index range once lifecycles change, so both the optimized
+            // and reference paths materialize it (identical code ⇒
+            // identical bytes at any thread count).
             let eligible = &mut scratch.eligible;
             eligible.clear();
-            eligible.extend(tier.iter().copied().filter(|&i| Some(i) != exclude));
+            eligible.extend(
+                tier.iter()
+                    .copied()
+                    .filter(|&i| Some(i) != exclude && states[i].is_admitting()),
+            );
             if eligible.is_empty() {
                 None
             } else {
@@ -1329,7 +1855,7 @@ impl Router {
             // order — the same order the reference eligible list had).
             tier.iter()
                 .copied()
-                .find(|&i| Some(i) != exclude && i != first && fits(i))
+                .find(|&i| Some(i) != exclude && i != first && states[i].is_admitting() && fits(i))
         } else {
             None
         };
@@ -1341,7 +1867,7 @@ impl Router {
                 states[i].enqueue(id, at);
                 if let Some(ix) = index.as_mut() {
                     let s = &states[i];
-                    ix.update(i, s.outstanding(), s.kv_pressure());
+                    ix.update(i, s.load_norm(), s.pressure_norm());
                 }
                 if TRACED {
                     obs.emit(Event {
@@ -1367,6 +1893,408 @@ impl Router {
                     )
                 });
                 false
+            }
+        }
+    }
+
+    /// Re-homes one request off replica `from` (draining or failed) at
+    /// time `at`. `was_running` marks a session that was mid-decode at
+    /// a kill: its KV is gone, the caller has set it `Preempted`, and
+    /// the survivor's admission path re-prefills its whole sequence
+    /// (priced through [`ServeEngine::step_time_sessions`] like any
+    /// preempted re-admission). The target is the policy's preferred
+    /// admitting survivor among those that can *ever* hold the request
+    /// — the same never-fits guard as [`Router::dispatch`], so a moved
+    /// request cannot wedge a survivor's FCFS head. With no such
+    /// survivor the request is finally rejected.
+    #[allow(clippy::too_many_arguments)]
+    fn recover<const TRACED: bool>(
+        &self,
+        id: usize,
+        from: usize,
+        at: f64,
+        cause: &str,
+        was_running: bool,
+        states: &mut [ReplicaState],
+        requests: &mut [Request],
+        owner: &mut [Option<usize>],
+        res_bytes: &mut [u64],
+        queued_since: &mut [f64],
+        rr: &mut usize,
+        index: &mut Option<DispatchIndex>,
+        scratch: &mut DispatchScratch,
+        dynamics: &mut FleetDynamicsStats,
+        obs: &mut ObsCtx<'_>,
+    ) {
+        let snapshot = requests[id].clone();
+        let is_preempted = snapshot.state == RequestState::Preempted;
+        let needed = |i: usize| -> u64 {
+            if is_preempted {
+                self.engines[i].requeue_reservation_bytes(&snapshot)
+            } else {
+                self.engines[i].reservation_bytes(snapshot.prompt_len, snapshot.output_len)
+            }
+        };
+        let ok = |i: usize| i != from && states[i].is_admitting() && needed(i) <= states[i].budget;
+        let target: Option<usize> = match index.as_ref() {
+            Some(ix) => match self.cfg.lb {
+                LoadBalancePolicy::LeastOutstanding => ix.least_outstanding(0, ok),
+                LoadBalancePolicy::LeastKvPressure => ix.least_kv_pressure(0, ok),
+                _ => unreachable!("index implies a least-* policy"),
+            },
+            None => {
+                let eligible = &mut scratch.eligible;
+                eligible.clear();
+                eligible.extend((0..states.len()).filter(|&i| ok(i)));
+                if eligible.is_empty() {
+                    None
+                } else {
+                    let key = snapshot.session.map_or(id, |s| s.session_id);
+                    Some(self.pick(eligible, states, key, rr))
+                }
+            }
+        };
+        let Some(to) = target else {
+            let req = &mut requests[id];
+            req.state = RequestState::Rejected;
+            req.reject_reason = Some(RejectReason::Infeasible);
+            if TRACED {
+                obs.emit(Event {
+                    t: at,
+                    replica: None,
+                    request: Some(id),
+                    kind: EventKind::Rejected {
+                        reason: "infeasible".to_string(),
+                        queue_wait_s: at - req.arrival,
+                        decision_trace: format!(
+                            "replica {from} {cause}: no admitting survivor can ever hold \
+                             request {id}"
+                        ),
+                    },
+                });
+            }
+            return;
+        };
+        res_bytes[id] = needed(to);
+        owner[id] = Some(to);
+        queued_since[id] = at;
+        states[to].enqueue(id, at);
+        if let Some(ix) = index.as_mut() {
+            let s = &states[to];
+            ix.update(to, s.load_norm(), s.pressure_norm());
+        }
+        if was_running {
+            dynamics.recovered += 1;
+            if TRACED {
+                obs.emit(Event {
+                    t: at,
+                    replica: Some(to),
+                    request: Some(id),
+                    kind: EventKind::SessionRecovered {
+                        from,
+                        to,
+                        rebuilt_tokens: snapshot.seq_len(),
+                        decision_trace: format!(
+                            "replica {from} {cause}: lost KV, re-prefilling {} tokens on \
+                             replica {to}",
+                            snapshot.seq_len()
+                        ),
+                    },
+                });
+            }
+        } else {
+            dynamics.relocated += 1;
+            if TRACED {
+                obs.emit(Event {
+                    t: at,
+                    replica: Some(to),
+                    request: Some(id),
+                    kind: EventKind::Dispatch {
+                        target: to,
+                        lb: self.cfg.lb.name().to_string(),
+                    },
+                });
+            }
+        }
+    }
+
+    /// Executes one failure-plan kill: replica `r` permanently stops,
+    /// its reservations and retained sessions are discarded, and its
+    /// queued then running requests re-home on admitting survivors in
+    /// deterministic (queue order, then batch order). Idempotent: a
+    /// second kill of the same replica is a no-op.
+    #[allow(clippy::too_many_arguments)]
+    fn fail_replica<const TRACED: bool>(
+        &self,
+        r: usize,
+        at: f64,
+        states: &mut [ReplicaState],
+        requests: &mut [Request],
+        owner: &mut [Option<usize>],
+        res_bytes: &mut [u64],
+        queued_since: &mut [f64],
+        rr: &mut usize,
+        index: &mut Option<DispatchIndex>,
+        scratch: &mut DispatchScratch,
+        dynamics: &mut FleetDynamicsStats,
+        obs: &mut ObsCtx<'_>,
+    ) {
+        if states[r].life == Lifecycle::Failed {
+            return;
+        }
+        let was_standby = states[r].life == Lifecycle::Standby;
+        {
+            let s = &mut states[r];
+            s.t = s.t.max(at);
+            if !was_standby {
+                s.up_seconds += s.t.max(s.up_since) - s.up_since;
+            }
+        }
+        dynamics.failures += 1;
+        let in_flight = states[r].outstanding();
+        if TRACED {
+            obs.emit(Event {
+                t: at,
+                replica: Some(r),
+                request: None,
+                kind: EventKind::ReplicaFailed {
+                    in_flight,
+                    decision_trace: format!(
+                        "injected kill at t={at:.3}s with {in_flight} in-flight requests: \
+                         reservations and retained sessions lost, survivors re-prefill"
+                    ),
+                },
+            });
+        }
+        states[r].life = Lifecycle::Failed;
+        if let Some(ix) = index.as_mut() {
+            ix.remove(r);
+        }
+        let queued: Vec<usize> = states[r].queue.drain(..).collect();
+        let running: Vec<usize> = std::mem::take(&mut states[r].running);
+        states[r].reserved = 0;
+        if let Some(kv) = states[r].session_kv.as_mut() {
+            let evicted = kv.evict_until(0, None);
+            if TRACED {
+                for evd in &evicted {
+                    obs.emit(Event {
+                        t: at,
+                        replica: Some(r),
+                        request: None,
+                        kind: EventKind::RetentionEvict {
+                            session: evd.session_id as u64,
+                            seq_len: evd.seq_len,
+                            bytes: evd.bytes,
+                        },
+                    });
+                }
+            }
+        }
+        for id in queued {
+            self.recover::<TRACED>(
+                id,
+                r,
+                at,
+                "failed",
+                false,
+                states,
+                requests,
+                owner,
+                res_bytes,
+                queued_since,
+                rr,
+                index,
+                scratch,
+                dynamics,
+                obs,
+            );
+        }
+        for id in running {
+            // A mid-decode session: steps are atomic, so it was
+            // decoding with its KV resident — now lost. Mark it
+            // preempted (the re-admission path re-prefills the whole
+            // sequence) without touching the preemption counters:
+            // nothing was evicted by policy.
+            requests[id].state = RequestState::Preempted;
+            self.recover::<TRACED>(
+                id,
+                r,
+                at,
+                "failed",
+                true,
+                states,
+                requests,
+                owner,
+                res_bytes,
+                queued_since,
+                rr,
+                index,
+                scratch,
+                dynamics,
+                obs,
+            );
+        }
+    }
+
+    /// One autoscaler evaluation at time `at`: reads windowed SLO
+    /// attainment, mean KV pressure over admitting replicas, and the
+    /// worst current queue wait of a request still awaiting first
+    /// service, then brings one standby replica up (overload) or
+    /// starts draining the emptiest admitting replica (sustained
+    /// headroom, above the floor). Every signal is pure simulation
+    /// state, so the control loop is deterministic per seed.
+    #[allow(clippy::too_many_arguments)]
+    fn scale_tick<const TRACED: bool>(
+        &self,
+        at: f64,
+        a: &AutoscalerCfg,
+        states: &mut [ReplicaState],
+        requests: &mut [Request],
+        owner: &mut [Option<usize>],
+        res_bytes: &mut [u64],
+        queued_since: &mut [f64],
+        rr: &mut usize,
+        index: &mut Option<DispatchIndex>,
+        scratch: &mut DispatchScratch,
+        dynamics: &mut FleetDynamicsStats,
+        obs: &mut ObsCtx<'_>,
+    ) {
+        let cfg0 = self.engines[0].config();
+        let slo = &cfg0.slo;
+        let lo = at - a.window_s;
+        let (mut fin, mut met) = (0usize, 0usize);
+        for req in requests.iter() {
+            if let Some(f) = req.finished_at {
+                if f > lo && f <= at {
+                    fin += 1;
+                    if slo.met_by(req) {
+                        met += 1;
+                    }
+                }
+            }
+        }
+        let attainment = if fin == 0 {
+            1.0
+        } else {
+            met as f64 / fin as f64
+        };
+        let ups = states.iter().filter(|s| s.life == Lifecycle::Up).count();
+        let pressure = if ups == 0 {
+            0.0
+        } else {
+            states
+                .iter()
+                .filter(|s| s.life == Lifecycle::Up)
+                .map(|s| s.kv_pressure())
+                .sum::<f64>()
+                / ups as f64
+        };
+        let mut worst_wait = 0.0f64;
+        for s in states.iter() {
+            for &id in &s.queue {
+                if requests[id].first_token_at.is_none() {
+                    worst_wait = worst_wait.max(at - queued_since[id]);
+                }
+            }
+        }
+
+        let overload = attainment < a.target_attainment
+            || pressure > a.pressure_high
+            || worst_wait > slo.ttft_s;
+        let calm = attainment >= a.target_attainment
+            && pressure < a.pressure_low
+            && worst_wait < 0.5 * slo.ttft_s;
+        if overload {
+            let Some(r) = states
+                .iter()
+                .find(|s| s.life == Lifecycle::Standby)
+                .map(|s| s.idx)
+            else {
+                return; // fleet ceiling reached
+            };
+            {
+                let s = &mut states[r];
+                s.life = Lifecycle::Up;
+                s.t = s.t.max(at);
+                s.up_since = at;
+            }
+            if let Some(ix) = index.as_mut() {
+                ix.insert(r, 0);
+                let s = &states[r];
+                ix.update(r, s.load_norm(), s.pressure_norm());
+            }
+            dynamics.scale_ups += 1;
+            if TRACED {
+                let replicas_up = states.iter().filter(|s| s.life == Lifecycle::Up).count();
+                obs.emit(Event {
+                    t: at,
+                    replica: Some(r),
+                    request: None,
+                    kind: EventKind::ReplicaUp {
+                        replicas_up,
+                        decision_trace: format!(
+                            "attainment {attainment:.3} (target {}), pressure {pressure:.3} \
+                             (high {}), worst wait {worst_wait:.3}s (ttft {}s)",
+                            a.target_attainment, a.pressure_high, slo.ttft_s
+                        ),
+                    },
+                });
+            }
+        } else if calm && ups > a.min_replicas {
+            // Drain the emptiest admitting replica; ties prefer the
+            // highest index so the low indices (the permanent floor)
+            // stay up.
+            let r = states
+                .iter()
+                .filter(|s| s.life == Lifecycle::Up)
+                .map(|s| s.idx)
+                .min_by_key(|&i| (states[i].outstanding(), std::cmp::Reverse(i)))
+                .expect("ups > min_replicas >= 1");
+            states[r].life = Lifecycle::Draining;
+            states[r].t = states[r].t.max(at);
+            if let Some(ix) = index.as_mut() {
+                ix.remove(r);
+            }
+            dynamics.drains += 1;
+            if TRACED {
+                let replicas_up = states.iter().filter(|s| s.life == Lifecycle::Up).count();
+                obs.emit(Event {
+                    t: at,
+                    replica: Some(r),
+                    request: None,
+                    kind: EventKind::ReplicaDrained {
+                        replicas_up,
+                        decision_trace: format!(
+                            "attainment {attainment:.3} >= target {}, pressure {pressure:.3} \
+                             < low {}, worst wait {worst_wait:.3}s: draining to {replicas_up} \
+                             admitting replicas",
+                            a.target_attainment, a.pressure_low
+                        ),
+                    },
+                });
+            }
+            // Hand still-queued work to the survivors now; the running
+            // batch finishes locally and the drain completes once it
+            // empties (the scan at the top of the event loop).
+            let moved: Vec<usize> = states[r].queue.drain(..).collect();
+            for id in moved {
+                self.recover::<TRACED>(
+                    id,
+                    r,
+                    at,
+                    "draining",
+                    false,
+                    states,
+                    requests,
+                    owner,
+                    res_bytes,
+                    queued_since,
+                    rr,
+                    index,
+                    scratch,
+                    dynamics,
+                    obs,
+                );
             }
         }
     }
@@ -1866,6 +2794,7 @@ impl Router {
         requeued: usize,
         handoffs: usize,
         last_event_t: f64,
+        dynamics: Option<FleetDynamicsStats>,
     ) -> RouterReport {
         let replicas: Vec<ServeReport> = states
             .iter()
@@ -1947,10 +2876,23 @@ impl Router {
             }
             (!self.engines.iter().all(|e| e.config().discipline.is_fcfs())).then(|| d.join("+"))
         };
+        // Fleet hardware tag: the distinct per-replica hardware names
+        // in first-appearance order — identical bytes to the old
+        // single-name tag for homogeneous fleets.
+        let hw = {
+            let mut h: Vec<String> = Vec::new();
+            for e in &self.engines {
+                let name = e.config().hardware.to_string();
+                if !h.contains(&name) {
+                    h.push(name);
+                }
+            }
+            format!("{}x {}", self.engines.len(), h.join("+"))
+        };
         let fleet = ServeReport::from_requests(
             format!("{}x{}", self.engines.len(), names.join("+")),
             cfg0.model.name.clone(),
-            format!("{}x {}", self.engines.len(), cfg0.hardware),
+            hw,
             requests,
             cfg0.slo,
             makespan,
@@ -1970,6 +2912,7 @@ impl Router {
             replicas,
             requeued,
             handoffs,
+            dynamics,
         }
     }
 }
@@ -1994,6 +2937,15 @@ mod tests {
             n,
             seed,
         )
+    }
+
+    /// SplitMix64 finalizer: a cheap, seedless way to drive the
+    /// membership walk in the index cross-check deterministically.
+    fn mix64(mut x: u64) -> u64 {
+        x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^ (x >> 31)
     }
 
     fn all_lbs() -> [LoadBalancePolicy; 4] {
@@ -2189,6 +3141,8 @@ mod tests {
             disagg: Some(DisaggCfg {
                 prefill_replicas: 1,
             }),
+            autoscaler: None,
+            failures: None,
             step_threads: 1,
         };
         let router = Router::new(cfg);
@@ -2244,6 +3198,217 @@ mod tests {
     fn disagg_needs_a_decode_tier() {
         let _ = Router::new(
             RouterConfig::homogeneous(replica_cfg(AdmissionPolicy::alisa()), 2).with_disagg(2),
+        );
+    }
+
+    #[test]
+    fn dispatch_index_interleaved_insert_remove_matches_linear_scan() {
+        // Runtime fleet membership: interleave inserts (scale-up),
+        // removes (drain/failure), and re-keys, cross-checking every
+        // pick against a brute-force linear mirror of the same state.
+        let n = 9;
+        let mut ix = DispatchIndex::new(vec![0; n], 1, true, true);
+        let mut load = vec![0.0f64; n];
+        let mut pressure = vec![0.0f64; n];
+        let mut present = vec![true; n];
+        let mirror_min = |keys: &[f64], present: &[bool]| -> Option<usize> {
+            (0..keys.len())
+                .filter(|&i| present[i])
+                .min_by(|&a, &b| keys[a].total_cmp(&keys[b]).then_with(|| a.cmp(&b)))
+        };
+        // Deterministic pseudo-random walk over membership and keys.
+        for step in 0..400u64 {
+            let r = (mix64(step) % n as u64) as usize;
+            match mix64(step ^ 0xD15).wrapping_mul(31) % 4 {
+                0 => {
+                    ix.remove(r);
+                    present[r] = false;
+                }
+                1 => {
+                    ix.insert(r, 0);
+                    if !present[r] {
+                        present[r] = true;
+                        load[r] = 0.0;
+                        pressure[r] = 0.0;
+                    }
+                }
+                _ => {
+                    let l = (mix64(step ^ 0xF00D) % 13) as f64 / 1.7;
+                    let p = (mix64(step ^ 0xCAFE) % 101) as f64 / 100.0;
+                    ix.update(r, l, p);
+                    if present[r] {
+                        load[r] = l;
+                        pressure[r] = p;
+                    }
+                }
+            }
+            assert_eq!(
+                ix.least_outstanding(0, |_| true),
+                mirror_min(&load, &present),
+                "outstanding pick diverged at step {step}"
+            );
+            assert_eq!(
+                ix.least_kv_pressure(0, |_| true),
+                mirror_min(&pressure, &present),
+                "pressure pick diverged at step {step}"
+            );
+            for (i, &p) in present.iter().enumerate() {
+                assert_eq!(ix.contains(i), p, "membership at step {step}");
+            }
+        }
+        // Filtered picks skip absent-filter rejections identically.
+        let odd_only = |i: usize| i % 2 == 1;
+        let mirror_odd = (0..n)
+            .filter(|&i| present[i] && odd_only(i))
+            .min_by(|&a, &b| load[a].total_cmp(&load[b]).then_with(|| a.cmp(&b)));
+        assert_eq!(ix.least_outstanding(0, odd_only), mirror_odd);
+    }
+
+    #[test]
+    fn autoscaler_scales_up_under_load_and_drains_after() {
+        // A diurnal wave against a 1-replica floor with 3 standbys: the
+        // peak must force scale-ups, the trough must drain back down,
+        // and the capacity bill must undercut the 4-replica static
+        // fleet's.
+        let trace = Trace::generate(
+            &ArrivalProcess::Diurnal {
+                rate: 25.0,
+                swing: 0.9,
+                period_s: 24.0,
+            },
+            &LengthModel::alpaca().with_max_output(64),
+            700,
+            7,
+        );
+        let cfg = replica_cfg(AdmissionPolicy::alisa());
+        let auto = Router::new(
+            RouterConfig::homogeneous(cfg.clone(), 4)
+                .with_lb(LoadBalancePolicy::LeastOutstanding)
+                .with_autoscaler(AutoscalerCfg::new(1).with_cadence(2.0, 8.0)),
+        )
+        .run(&trace);
+        let d = auto.dynamics.expect("autoscaled run reports dynamics");
+        assert!(d.scale_ups >= 1, "peak load must bring standbys up: {d:?}");
+        assert!(d.drains >= 1, "troughs must drain them back: {d:?}");
+        assert_eq!(auto.fleet.arrived, 700);
+        assert_eq!(auto.fleet.admitted + auto.fleet.rejected, 700);
+        assert_eq!(auto.fleet.completed, auto.fleet.admitted);
+        let max_secs = 4.0 * auto.fleet.makespan_s;
+        assert!(
+            d.replica_seconds < max_secs,
+            "autoscaled capacity {} must undercut always-on {max_secs}",
+            d.replica_seconds
+        );
+        // Deterministic, at any thread count.
+        let again = Router::new(
+            RouterConfig::homogeneous(cfg, 4)
+                .with_lb(LoadBalancePolicy::LeastOutstanding)
+                .with_autoscaler(AutoscalerCfg::new(1).with_cadence(2.0, 8.0))
+                .with_step_threads(4),
+        )
+        .run(&trace);
+        assert_eq!(auto.canonical_text(), again.canonical_text());
+    }
+
+    #[test]
+    fn failure_rehomes_in_flight_sessions_and_conserves() {
+        // Kill one of three replicas mid-run: every request still
+        // terminates exactly once, recovered sessions finish on
+        // survivors, and nothing lands on the dead replica afterwards.
+        let trace = small_trace(40.0, 160, 23);
+        for lb in all_lbs() {
+            let r = Router::new(
+                RouterConfig::homogeneous(replica_cfg(AdmissionPolicy::alisa()), 3)
+                    .with_lb(lb)
+                    .with_failures(FailurePlan::at(&[(1.5, 1)])),
+            )
+            .run(&trace);
+            let d = r.dynamics.expect("failure run reports dynamics");
+            assert_eq!(d.failures, 1, "{}", lb.name());
+            assert_eq!(r.fleet.arrived, 160, "{}", lb.name());
+            assert_eq!(
+                r.fleet.admitted + r.fleet.rejected,
+                r.fleet.arrived,
+                "{}: conservation",
+                lb.name()
+            );
+            assert_eq!(
+                r.fleet.completed,
+                r.fleet.admitted,
+                "{}: every surviving admission completes",
+                lb.name()
+            );
+            assert!(
+                d.recovered + d.relocated > 0,
+                "{}: the kill at t=1.5s must catch in-flight work",
+                lb.name()
+            );
+        }
+    }
+
+    #[test]
+    fn failed_replica_owns_nothing_at_the_end() {
+        let trace = small_trace(8.0, 60, 31);
+        let r = Router::new(
+            RouterConfig::homogeneous(replica_cfg(AdmissionPolicy::alisa()), 2)
+                .with_lb(LoadBalancePolicy::LeastOutstanding)
+                .with_failures(FailurePlan::at(&[(1.0, 0)])),
+        )
+        .run(&trace);
+        // Replica 0 died at t=1.0s: all of its completions (if any)
+        // predate the kill, and the fleet still conserves.
+        assert_eq!(r.fleet.admitted + r.fleet.rejected, 60);
+        assert_eq!(r.fleet.completed, r.fleet.admitted);
+        assert!(
+            r.replicas[1].completed > 0,
+            "the survivor must carry the load"
+        );
+    }
+
+    #[test]
+    fn seeded_failure_plans_are_deterministic_and_leave_a_survivor() {
+        let a = FailurePlan::seeded(9, 2, 4, 60.0);
+        let b = FailurePlan::seeded(9, 2, 4, 60.0);
+        assert_eq!(a, b);
+        assert_eq!(a.kills.len(), 2);
+        let mut replicas: Vec<usize> = a.kills.iter().map(|k| k.replica).collect();
+        replicas.dedup();
+        assert_eq!(replicas.len(), 2, "kills hit distinct replicas");
+        assert!(a
+            .kills
+            .iter()
+            .all(|k| k.t >= 0.2 * 60.0 && k.t <= 0.8 * 60.0));
+        assert_ne!(FailurePlan::seeded(10, 2, 4, 60.0), a, "seed must matter");
+    }
+
+    #[test]
+    fn heterogeneous_fleet_reports_both_hardware_names() {
+        let fast = ServeConfig::new(
+            ModelConfig::opt_6_7b(),
+            HardwareSpec::h100_80gb(),
+            AdmissionPolicy::alisa(),
+        );
+        let slow = replica_cfg(AdmissionPolicy::alisa());
+        let router = Router::new(
+            RouterConfig::heterogeneous(vec![slow, fast])
+                .with_lb(LoadBalancePolicy::LeastOutstanding),
+        );
+        let trace = small_trace(6.0, 40, 13);
+        let r = router.run(&trace);
+        assert_eq!(r.fleet.admitted + r.fleet.rejected, 40);
+        assert!(
+            r.fleet.hardware.contains('+'),
+            "heterogeneous tag must join both names: {}",
+            r.fleet.hardware
+        );
+        // The faster replica's normalized load signal must attract
+        // strictly more work than an unweighted split would.
+        assert!(
+            r.replicas[1].arrived > r.replicas[0].arrived,
+            "capability-aware balancing must bias toward the faster \
+             replica: {} vs {}",
+            r.replicas[1].arrived,
+            r.replicas[0].arrived
         );
     }
 }

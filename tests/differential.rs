@@ -25,8 +25,8 @@ use alisa::PrecisionPolicy;
 use alisa_kvcache::{Location, NeededPartition, TokenKvStore};
 use alisa_sched::{GlobalSetModel, TopKScratch};
 use alisa_serve::{
-    AdmissionPolicy, LoadBalancePolicy, MemorySink, QueueDiscipline, RetentionCfg, Router,
-    RouterConfig, ServeConfig, ServeEngine, Trace, TraceEntry,
+    AdmissionPolicy, AutoscalerCfg, FailurePlan, LoadBalancePolicy, MemorySink, QueueDiscipline,
+    RetentionCfg, Router, RouterConfig, ServeConfig, ServeEngine, Trace, TraceEntry,
 };
 use proptest::prelude::*;
 
@@ -226,6 +226,94 @@ proptest! {
             traced_ref.canonical_text().into_bytes(),
             traced_opt.canonical_text().into_bytes(),
             "traced canonical report diverged: {}",
+            &ctx
+        );
+        prop_assert_eq!(traced_ref, traced_opt, "report structs diverged: {}", &ctx);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// PR 9's dynamic-fleet extension of the router property: with an
+    /// autoscaler breathing replicas up and down and a seeded
+    /// `FailurePlan` killing replicas mid-run, the optimized router
+    /// still matches `with_reference_paths(true)` byte for byte —
+    /// canonical report and decision-trace JSONL — at every step-thread
+    /// count, across arbitrary traces × failure plans × autoscaler
+    /// on/off × all four load-balance policies. Request conservation
+    /// (`admitted + rejected == offered`, every admission completes)
+    /// holds under every kill schedule.
+    #[test]
+    fn dynamic_fleet_matches_reference_and_conserves(
+        trace in trace_strategy(),
+        lb in 0usize..4,
+        replicas in 2usize..5,
+        kills in 0usize..2,
+        autoscale in 0usize..2,
+        plan_seed in 0u64..1024,
+        threads in 1usize..4,
+    ) {
+        let base = config(1, 0, true, true);
+        let horizon = trace.duration().max(1.0);
+        let mut cfg = RouterConfig::homogeneous(base, replicas)
+            .with_lb(lb_policy(lb))
+            .with_step_threads(threads);
+        let kills = kills.min(replicas - 1);
+        if kills > 0 {
+            cfg = cfg.with_failures(FailurePlan::seeded(plan_seed, kills, replicas, horizon));
+        }
+        if autoscale == 1 {
+            cfg = cfg.with_autoscaler(AutoscalerCfg::new(1).with_cadence(0.5, 2.0));
+        }
+        let optimized = Router::new(cfg.clone());
+        let reference = Router::new(cfg.clone()).with_reference_paths(true);
+        let serial = Router::new(cfg.with_step_threads(1));
+        let ctx = format!(
+            "lb={} replicas={replicas} kills={kills} autoscale={autoscale} \
+             plan_seed={plan_seed} threads={threads} n={}",
+            lb_policy(lb).name(),
+            trace.len(),
+        );
+
+        let plain_ref = reference.run(&trace);
+        let plain_opt = optimized.run(&trace);
+        let plain_serial = serial.run(&trace);
+        prop_assert_eq!(
+            plain_ref.canonical_text().into_bytes(),
+            plain_opt.canonical_text().into_bytes(),
+            "untraced canonical report diverged from reference: {}",
+            &ctx
+        );
+        prop_assert_eq!(
+            plain_serial.canonical_text().into_bytes(),
+            plain_opt.canonical_text().into_bytes(),
+            "canonical report diverged between 1 and {} step threads: {}",
+            threads,
+            &ctx
+        );
+        prop_assert_eq!(
+            plain_opt.fleet.admitted + plain_opt.fleet.rejected,
+            plain_opt.fleet.arrived,
+            "conservation violated: {}",
+            &ctx
+        );
+        prop_assert_eq!(plain_opt.fleet.arrived, trace.len(), "arrivals lost: {}", &ctx);
+        prop_assert_eq!(
+            plain_opt.fleet.completed,
+            plain_opt.fleet.admitted,
+            "an admitted request neither finished nor was re-rejected: {}",
+            &ctx
+        );
+
+        let mut sink_ref = MemorySink::new();
+        let mut sink_opt = MemorySink::new();
+        let traced_ref = reference.run_traced(&trace, &mut sink_ref);
+        let traced_opt = optimized.run_traced(&trace, &mut sink_opt);
+        prop_assert_eq!(
+            sink_ref.to_jsonl().into_bytes(),
+            sink_opt.to_jsonl().into_bytes(),
+            "event stream diverged: {}",
             &ctx
         );
         prop_assert_eq!(traced_ref, traced_opt, "report structs diverged: {}", &ctx);

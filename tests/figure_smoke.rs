@@ -161,3 +161,8 @@ fn fig16_multi_turn_runs() {
 fn fig17_admission_runs() {
     run_quick("fig17_admission");
 }
+
+#[test]
+fn fig18_fleet_dynamics_runs() {
+    run_quick("fig18_fleet_dynamics");
+}
